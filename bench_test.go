@@ -1,0 +1,301 @@
+package rapid_test
+
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation (BenchmarkTable3, BenchmarkFig3..BenchmarkFig24), each
+// regenerating a scaled-down version of the experiment through the same
+// code path `cmd/experiments` uses at full scale, plus the ablation
+// benches DESIGN.md §5 calls out and micro-benchmarks of the hot paths.
+//
+//	go test -bench=. -benchmem
+//
+// Figure benchmarks report ns/op for one full experiment regeneration
+// at bench scale; cross-experiment caching is disabled by using a
+// distinct scale name per iteration set.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rapid"
+	"rapid/internal/buffer"
+	"rapid/internal/control"
+	"rapid/internal/core"
+	"rapid/internal/exp"
+	"rapid/internal/meet"
+	"rapid/internal/packet"
+	"rapid/internal/routing/optimal"
+	"rapid/internal/sim"
+	"rapid/internal/stat"
+	"rapid/internal/trace"
+)
+
+// benchScale is smaller than TinyScale: single load point, shortened
+// horizons, one run — enough to exercise every moving part of the
+// experiment without minutes-long benchmark iterations.
+func benchScale(tag string) exp.Scale {
+	return exp.Scale{
+		Name: "bench-" + tag, Days: 1, Runs: 1, DayHours: 2,
+		TraceLoads:    []float64{8},
+		SynthLoads:    []float64{20},
+		Buffers:       []int64{40 << 10},
+		MetaFractions: []float64{0, -1},
+		OptimalLoads:  []float64{2},
+		SynthDuration: 200,
+	}
+}
+
+// benchExperiment runs one registered experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	e, ok := exp.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// A per-iteration scale name defeats the cross-figure memo so
+		// every iteration measures real work.
+		out := e.Run(benchScale(fmt.Sprintf("%s-%d", id, i)))
+		if out.Figure == nil && out.Table == nil {
+			b.Fatal("no output")
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
+func BenchmarkFig3(b *testing.B)   { benchExperiment(b, "fig3") }
+func BenchmarkFig4(b *testing.B)   { benchExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)   { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)   { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)   { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)   { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)   { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)  { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)  { benchExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)  { benchExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B)  { benchExperiment(b, "fig13") }
+func BenchmarkFig14(b *testing.B)  { benchExperiment(b, "fig14") }
+func BenchmarkFig15(b *testing.B)  { benchExperiment(b, "fig15") }
+func BenchmarkFig16(b *testing.B)  { benchExperiment(b, "fig16") }
+func BenchmarkFig17(b *testing.B)  { benchExperiment(b, "fig17") }
+func BenchmarkFig18(b *testing.B)  { benchExperiment(b, "fig18") }
+func BenchmarkFig19(b *testing.B)  { benchExperiment(b, "fig19") }
+func BenchmarkFig20(b *testing.B)  { benchExperiment(b, "fig20") }
+func BenchmarkFig21(b *testing.B)  { benchExperiment(b, "fig21") }
+func BenchmarkFig22(b *testing.B)  { benchExperiment(b, "fig22") }
+func BenchmarkFig23(b *testing.B)  { benchExperiment(b, "fig23") }
+func BenchmarkFig24(b *testing.B)  { benchExperiment(b, "fig24") }
+
+// ---------------------------------------------------------------------
+// Ablation benches (DESIGN.md §5): each contrasts a design choice by
+// running the same scenario with the alternative setting and reporting
+// the resulting average delay as a benchmark metric.
+
+func ablationScenario() (*rapid.Schedule, rapid.Workload) {
+	sched := rapid.ExponentialMobility(rapid.MobilityConfig{
+		Nodes: 16, Duration: 500, MeanMeeting: 50, TransferBytes: 40 << 10,
+	}, 3)
+	w := rapid.PoissonWorkload(rapid.WorkloadConfig{
+		Nodes: sched.Nodes(), PacketsPerWindowPerDest: 2, Window: 50,
+		Duration: 400, PacketBytes: 1 << 10, Deadline: 60,
+	}, 4)
+	return sched, w
+}
+
+// BenchmarkAblationHops contrasts the h-hop meeting-estimation horizon
+// (paper: h = 3).
+func BenchmarkAblationHops(b *testing.B) {
+	sched, w := ablationScenario()
+	for _, hops := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("h=%d", hops), func(b *testing.B) {
+			var delay float64
+			for i := 0; i < b.N; i++ {
+				res := rapid.Run(sched, w, rapid.RAPID(rapid.MinimizeAvgDelay),
+					rapid.Config{Seed: 5, Hops: hops})
+				delay = res.Summary.AvgDelay
+			}
+			b.ReportMetric(delay, "avgDelay_s")
+		})
+	}
+}
+
+// BenchmarkAblationDelta contrasts delta metadata exchange with a
+// disabled control channel (full-exchange vs none bounds the channel's
+// value; Fig. 8 sweeps the middle).
+func BenchmarkAblationDelta(b *testing.B) {
+	sched, w := ablationScenario()
+	for _, mode := range []struct {
+		name string
+		frac float64
+	}{{"full-metadata", 0}, {"no-metadata", -1}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var delay float64
+			for i := 0; i < b.N; i++ {
+				res := rapid.Run(sched, w, rapid.RAPID(rapid.MinimizeAvgDelay),
+					rapid.Config{Seed: 5, MetaFraction: mode.frac})
+				delay = res.Summary.AvgDelay
+			}
+			b.ReportMetric(delay, "avgDelay_s")
+		})
+	}
+}
+
+// BenchmarkAblationWorkConserving contrasts the max-delay metric (whose
+// plan order embodies the §3.5.3 work-conserving recomputation) with
+// the avg-delay metric on the same scenario, reporting max delay.
+func BenchmarkAblationWorkConserving(b *testing.B) {
+	sched, w := ablationScenario()
+	for _, m := range []rapid.Metric{rapid.MinimizeMaxDelay, rapid.MinimizeAvgDelay} {
+		b.Run(m.String(), func(b *testing.B) {
+			var maxDelay float64
+			for i := 0; i < b.N; i++ {
+				res := rapid.Run(sched, w, rapid.RAPID(m), rapid.Config{Seed: 5})
+				maxDelay = res.Summary.MaxDelay
+			}
+			b.ReportMetric(maxDelay, "maxDelay_s")
+		})
+	}
+}
+
+// BenchmarkAblationGammaVsExp measures the cost of the exact gamma CDF
+// against the exponential approximation Estimate-Delay actually uses
+// (§4.1.1's modelling shortcut).
+func BenchmarkAblationGammaVsExp(b *testing.B) {
+	b.Run("gamma-cdf", func(b *testing.B) {
+		g := 0.0
+		for i := 0; i < b.N; i++ {
+			v, _ := stat.GammaRegP(3, float64(i%100)/10)
+			g += v
+		}
+		_ = g
+	})
+	b.Run("exp-cdf", func(b *testing.B) {
+		g := 0.0
+		for i := 0; i < b.N; i++ {
+			g += control.DeliveryProb([]float64{30}, float64(i%100)/10)
+		}
+		_ = g
+	})
+}
+
+// BenchmarkAblationDAGDelay contrasts Estimate-Delay's closed form with
+// the Appendix-C DAG Monte Carlo on the Fig. 2 scenario.
+func BenchmarkAblationDAGDelay(b *testing.B) {
+	sc := core.DagScenario{
+		Queues: map[packet.NodeID][]packet.ID{1: {200}, 2: {100, 200}, 3: {100, 200}},
+		Rate:   map[packet.NodeID]float64{1: 0.2, 2: 0.2, 3: 0.2},
+	}
+	b.Run("dag-delay", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.DagDelay(sc, 2048, int64(i))
+		}
+	})
+	b.Run("estimate-delay", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.EstimateDelayExpectation(sc)
+		}
+	})
+}
+
+// ---------------------------------------------------------------------
+// Micro-benchmarks of the hot paths.
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := sim.New(1)
+		for j := 0; j < 1000; j++ {
+			e.ScheduleFunc(float64(j%97), func(*sim.Engine) {})
+		}
+		e.Run()
+	}
+}
+
+func BenchmarkQueueIndexBuild(b *testing.B) {
+	store := buffer.New(0)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		store.Insert(&buffer.Entry{P: &packet.Packet{
+			ID: packet.ID(i), Dst: packet.NodeID(r.Intn(20)), Size: 1024,
+			Created: r.Float64() * 1000,
+		}}, nil)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := core.NewQueueIndex(store)
+		_ = idx.BytesAhead(1000)
+	}
+}
+
+func BenchmarkControlExchange(b *testing.B) {
+	inv := make([]control.InventoryItem, 500)
+	for i := range inv {
+		inv[i] = control.InventoryItem{
+			ID: packet.ID(i), Dst: packet.NodeID(i % 20), Size: 1024, Delay: 100,
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := control.NewState(0, 3, nil)
+		c := control.NewState(1, 3, nil)
+		control.Exchange(a, c, inv, nil, 10, control.Options{MaxBytes: -1})
+	}
+}
+
+func BenchmarkMeetExpected(b *testing.B) {
+	e := meet.New(0, 3)
+	r := rand.New(rand.NewSource(2))
+	for owner := 1; owner < 30; owner++ {
+		t := meet.Table{}
+		for peer := 0; peer < 30; peer++ {
+			if peer != owner && r.Float64() < 0.4 {
+				t[packet.NodeID(peer)] = 10 + r.Float64()*1000
+			}
+		}
+		e.MergeTable(packet.NodeID(owner), t)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.Expected(packet.NodeID(i%30), packet.NodeID((i+7)%30))
+	}
+}
+
+func BenchmarkOptimalOracle(b *testing.B) {
+	gen := trace.NewDieselNet(trace.DefaultDieselNet())
+	cfg := trace.DefaultDieselNet()
+	cfg.DayHours = 2
+	gen = trace.NewDieselNet(cfg)
+	sched := gen.Day(0)
+	w := rapid.PoissonWorkload(rapid.WorkloadConfig{
+		Nodes: sched.Nodes(), PacketsPerWindowPerDest: 2, Window: 3600,
+		Duration: sched.Duration, PacketBytes: 1 << 10,
+	}, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		optimal.Solve(sched, w, optimal.Options{ImprovePasses: 1})
+	}
+}
+
+func BenchmarkRapidSessionHeavyBuffer(b *testing.B) {
+	// One full contact session between two nodes carrying 2k packets.
+	sched := &trace.Schedule{Duration: 1000}
+	for i := 0; i < 40; i++ {
+		sched.Meetings = append(sched.Meetings, trace.Meeting{
+			A: packet.NodeID(i % 8), B: packet.NodeID((i + 3) % 8),
+			Time: float64(i * 20), Bytes: 256 << 10,
+		})
+	}
+	w := rapid.PoissonWorkload(rapid.WorkloadConfig{
+		Nodes: []rapid.NodeID{0, 1, 2, 3, 4, 5, 6, 7}, PacketsPerWindowPerDest: 40,
+		Window: 100, Duration: 800, PacketBytes: 1 << 10,
+	}, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rapid.Run(sched, w, rapid.RAPID(rapid.MinimizeAvgDelay), rapid.Config{Seed: int64(i)})
+	}
+}

@@ -1,0 +1,129 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -fig fig4 [-scale tiny|default|full] [-out results]
+//	experiments -fig all -scale default -out results
+//
+// For each experiment it writes <out>/<id>.dat (gnuplot-style series)
+// and <out>/<id>.txt (an ASCII rendering plus notes), and prints the
+// ASCII form to stdout. EXPERIMENTS.md records the paper-vs-measured
+// comparison produced from these outputs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"rapid/internal/exp"
+	"rapid/internal/report"
+)
+
+func main() {
+	var (
+		figID  = flag.String("fig", "", "experiment id (fig3..fig24, table3) or 'all'")
+		scale  = flag.String("scale", "default", "tiny | default | full")
+		outDir = flag.String("out", "results", "output directory")
+		list   = flag.Bool("list", false, "list experiments and exit")
+		plotW  = flag.Int("plot-width", 72, "ASCII plot width")
+		plotH  = flag.Int("plot-height", 20, "ASCII plot height")
+		quiet  = flag.Bool("q", false, "suppress ASCII plots on stdout")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *figID == "" {
+		fmt.Fprintln(os.Stderr, "missing -fig; use -list to see experiments")
+		os.Exit(2)
+	}
+
+	var sc exp.Scale
+	switch *scale {
+	case "tiny":
+		sc = exp.TinyScale()
+	case "default":
+		sc = exp.DefaultScale()
+	case "full":
+		sc = exp.FullScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	var targets []exp.Experiment
+	if *figID == "all" {
+		targets = exp.All()
+	} else {
+		e, ok := exp.ByID(*figID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *figID)
+			os.Exit(2)
+		}
+		targets = []exp.Experiment{e}
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	for _, e := range targets {
+		start := time.Now()
+		out := e.Run(sc)
+		elapsed := time.Since(start).Round(time.Millisecond)
+
+		var text strings.Builder
+		fmt.Fprintf(&text, "%s — %s (scale %s, %v)\n\n", e.ID, e.Title, sc.Name, elapsed)
+		if out.Figure != nil {
+			fig := toReportFigure(out.Figure)
+			datPath := filepath.Join(*outDir, e.ID+".dat")
+			f, err := os.Create(datPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := fig.WriteDat(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			f.Close()
+			text.WriteString(fig.RenderASCII(*plotW, *plotH))
+		}
+		if out.Table != nil {
+			tbl := &report.Table{Header: out.Table.Header, Rows: out.Table.Rows}
+			text.WriteString(tbl.Render())
+		}
+		for _, n := range out.Notes {
+			fmt.Fprintf(&text, "\nnote: %s\n", n)
+		}
+		txtPath := filepath.Join(*outDir, e.ID+".txt")
+		if err := os.WriteFile(txtPath, []byte(text.String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Println(text.String())
+		} else {
+			fmt.Printf("%s done in %v -> %s\n", e.ID, elapsed, txtPath)
+		}
+	}
+}
+
+// toReportFigure converts the harness figure into the report type.
+func toReportFigure(f *exp.Figure) *report.Figure {
+	out := &report.Figure{ID: f.ID, Title: f.Title, XLabel: f.XLabel, YLabel: f.YLabel}
+	for _, s := range f.Series {
+		out.Series = append(out.Series, report.Series{Label: s.Label, X: s.X, Y: s.Y})
+	}
+	return out
+}

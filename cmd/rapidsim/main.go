@@ -1,0 +1,133 @@
+// Command rapidsim runs one DTN simulation and prints its summary.
+//
+// Examples:
+//
+//	rapidsim -protocol rapid -metric avg-delay -mobility exponential -load 20
+//	rapidsim -protocol maxprop -mobility dieselnet -day 3 -load 4
+//	rapidsim -protocol rapid -metric deadline -mobility powerlaw -deadline 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rapid"
+	"rapid/internal/report"
+)
+
+func main() {
+	var (
+		protoName = flag.String("protocol", "rapid", "rapid | maxprop | spraywait | prophet | random | random-acks | epidemic")
+		metric    = flag.String("metric", "avg-delay", "avg-delay | deadline | max-delay (rapid only)")
+		mobilityM = flag.String("mobility", "exponential", "exponential | powerlaw | dieselnet")
+		nodes     = flag.Int("nodes", 20, "node count (synthetic mobility)")
+		duration  = flag.Float64("duration", 900, "run length in seconds (synthetic)")
+		meeting   = flag.Float64("mean-meeting", 60, "mean pairwise inter-meeting time (s)")
+		transfer  = flag.Int64("transfer", 100<<10, "transfer opportunity bytes (synthetic)")
+		day       = flag.Int("day", 0, "DieselNet day index")
+		load      = flag.Float64("load", 4, "packets per window per destination pair")
+		window    = flag.Float64("window", 50, "load window (s); use 3600 for trace-style loads")
+		pktBytes  = flag.Int64("packet", 1<<10, "packet size in bytes")
+		deadline  = flag.Float64("deadline", 0, "per-packet deadline (s); 0 = none")
+		buffer    = flag.Int64("buffer", 0, "per-node buffer bytes; 0 = unlimited")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		global    = flag.Bool("global-channel", false, "use the instant global control channel")
+		withOpt   = flag.Bool("optimal", false, "also run the offline optimal oracle")
+	)
+	flag.Parse()
+
+	var m rapid.Metric
+	switch *metric {
+	case "avg-delay":
+		m = rapid.MinimizeAvgDelay
+	case "deadline":
+		m = rapid.MinimizeMissedDeadlines
+	case "max-delay":
+		m = rapid.MinimizeMaxDelay
+	default:
+		fail("unknown metric %q", *metric)
+	}
+
+	var proto rapid.Protocol
+	switch *protoName {
+	case "rapid":
+		proto = rapid.RAPID(m)
+	case "maxprop":
+		proto = rapid.MaxProp()
+	case "spraywait":
+		proto = rapid.SprayAndWait(0)
+	case "prophet":
+		proto = rapid.PRoPHET()
+	case "random":
+		proto = rapid.Random()
+	case "random-acks":
+		proto = rapid.RandomWithAcks()
+	case "epidemic":
+		proto = rapid.Epidemic()
+	default:
+		fail("unknown protocol %q", *protoName)
+	}
+
+	var sched *rapid.Schedule
+	mc := rapid.MobilityConfig{
+		Nodes: *nodes, Duration: *duration,
+		MeanMeeting: *meeting, TransferBytes: *transfer, PowerLawAlpha: 1,
+	}
+	switch *mobilityM {
+	case "exponential":
+		sched = rapid.ExponentialMobility(mc, *seed)
+	case "powerlaw":
+		sched = rapid.PowerLawMobility(mc, *seed)
+	case "dieselnet":
+		sched = rapid.DieselNetDay(rapid.DefaultDieselNet(), *day)
+	default:
+		fail("unknown mobility %q", *mobilityM)
+	}
+
+	w := rapid.PoissonWorkload(rapid.WorkloadConfig{
+		Nodes:                   sched.Nodes(),
+		PacketsPerWindowPerDest: *load,
+		Window:                  *window,
+		Duration:                sched.Duration,
+		PacketBytes:             *pktBytes,
+		Deadline:                *deadline,
+	}, *seed+1)
+
+	cfg := rapid.Config{BufferBytes: *buffer, Seed: *seed}
+	if *global {
+		cfg.Control = rapid.InstantGlobal
+	}
+	res := rapid.Run(sched, w, proto, cfg)
+	s := res.Summary
+
+	tbl := &report.Table{Header: []string{"metric", "value"}}
+	tbl.AddRow("protocol", proto.Name())
+	tbl.AddRow("mobility", *mobilityM)
+	tbl.AddRow("nodes", fmt.Sprint(len(sched.Nodes())))
+	tbl.AddRow("meetings", fmt.Sprint(s.Meetings))
+	tbl.AddRow("packets generated", fmt.Sprint(s.Generated))
+	tbl.AddRow("packets delivered", fmt.Sprint(s.Delivered))
+	tbl.AddRow("delivery rate", report.Pct(s.DeliveryRate))
+	tbl.AddRow("avg delay (s)", report.F(s.AvgDelay))
+	tbl.AddRow("max delay (s)", report.F(s.MaxDelay))
+	tbl.AddRow("avg delay incl. undelivered (s)", report.F(s.AvgDelayAll))
+	if *deadline > 0 {
+		tbl.AddRow("delivered within deadline", report.Pct(s.WithinDeadline))
+	}
+	tbl.AddRow("channel utilization", report.Pct(s.Utilization))
+	tbl.AddRow("metadata / data", report.Pct(s.MetaOverData))
+	tbl.AddRow("metadata / bandwidth", report.Pct(s.MetaOverBandwidth))
+	fmt.Print(tbl.Render())
+
+	if *withOpt {
+		opt := rapid.Optimal(sched, w)
+		fmt.Printf("\noffline optimal: delivery %s, avg delay incl. undelivered %ss (online: %ss)\n",
+			report.Pct(opt.DeliveryRate()), report.F(opt.AvgDelayAll()), report.F(s.AvgDelayAll))
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}

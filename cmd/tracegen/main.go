@@ -1,0 +1,84 @@
+// Command tracegen generates synthetic DieselNet contact traces in the
+// repository's text trace format, one file per day, and can validate
+// existing trace files.
+//
+//	tracegen -days 58 -out traces/
+//	tracegen -validate traces/day03.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"rapid/internal/trace"
+)
+
+func main() {
+	var (
+		days     = flag.Int("days", 58, "number of day traces to generate")
+		outDir   = flag.String("out", "traces", "output directory")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		fleet    = flag.Int("fleet", 40, "fleet size")
+		active   = flag.Int("active", 19, "average buses on the road per day")
+		hours    = flag.Float64("hours", 19, "service hours per day")
+		perturb  = flag.Bool("perturb", false, "apply deployment perturbations (the Fig. 3 'Real' arm)")
+		validate = flag.String("validate", "", "validate a trace file and exit")
+	)
+	flag.Parse()
+
+	if *validate != "" {
+		f, err := os.Open(*validate)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		s, err := trace.Read(f)
+		if err != nil {
+			fail(err)
+		}
+		if err := s.Validate(); err != nil {
+			fail(err)
+		}
+		mean, _ := s.MeanOpportunity()
+		fmt.Printf("%s: OK — %d meetings over %.1f h, %d nodes, %.1f MB capacity (mean opportunity %.2f MB)\n",
+			*validate, len(s.Meetings), s.Duration/3600, len(s.Nodes()),
+			float64(s.TotalBytes())/1e6, mean/1e6)
+		return
+	}
+
+	cfg := trace.DefaultDieselNet()
+	cfg.Seed = *seed
+	cfg.Fleet = *fleet
+	cfg.ActivePerDay = *active
+	cfg.DayHours = *hours
+	gen := trace.NewDieselNet(cfg)
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fail(err)
+	}
+	for day := 0; day < *days; day++ {
+		s := gen.Day(day)
+		if *perturb {
+			p := trace.DefaultPerturb()
+			p.Seed = *seed + int64(day)
+			s = trace.Perturb(s, p)
+		}
+		name := filepath.Join(*outDir, fmt.Sprintf("day%02d.trace", day))
+		f, err := os.Create(name)
+		if err != nil {
+			fail(err)
+		}
+		if err := trace.Write(f, s); err != nil {
+			fail(err)
+		}
+		f.Close()
+		fmt.Printf("%s: %d meetings, %.1f MB\n", name, len(s.Meetings), float64(s.TotalBytes())/1e6)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,216 @@
+// Package buffer implements per-node packet storage with byte-capacity
+// accounting and utility-ordered eviction, per §3.4: "If a node exhausts
+// all available storage, packets with the lowest utility are deleted
+// first as they contribute least to overall performance. However, a
+// source never deletes its own packet unless it receives an
+// acknowledgment for the packet."
+package buffer
+
+import (
+	"math"
+
+	"rapid/internal/packet"
+)
+
+// Entry is a buffered replica of a packet plus the per-replica state the
+// routing protocols need.
+type Entry struct {
+	P *packet.Packet
+	// ReceivedAt is when this node obtained the replica.
+	ReceivedAt float64
+	// Hops counts transfers from the source to this replica (0 at the
+	// source). MaxProp's head-of-queue rule keys on this.
+	Hops int
+	// Own marks the source's original copy, which is protected from
+	// eviction until acknowledged.
+	Own bool
+	// Tokens is the replication allowance carried by copy-bounded
+	// protocols (Spray and Wait [30] and the replica-bounded schemes
+	// [24, 29] of Table 1). Zero for protocols that do not bound
+	// copies.
+	Tokens int
+}
+
+// Utility ranks entries for eviction: lower values are evicted first.
+// Implementations must be pure with respect to the store (they are
+// called mid-eviction).
+type Utility func(*Entry) float64
+
+// Store is a single node's packet buffer. The zero value is unusable;
+// construct with New. Store is not safe for concurrent use — the
+// simulator is single-threaded by design (deterministic replay).
+type Store struct {
+	capacity int64 // bytes; <= 0 means unlimited
+	used     int64
+	entries  map[packet.ID]*Entry
+	// order preserves a deterministic iteration sequence (map order is
+	// randomized in Go). It is maintained with swap-removal, so the
+	// sequence is deterministic for a given operation history but not
+	// sorted; routers impose their own orderings.
+	order []*Entry
+	index map[packet.ID]int
+	// byDst tracks buffered bytes per destination, so queue-position
+	// estimates for a just-created packet (younger than everything
+	// buffered) are O(1).
+	byDst map[packet.NodeID]int64
+}
+
+// New returns an empty store with the given byte capacity
+// (capacity <= 0 means unlimited, as with the 40 GB deployment buffers
+// that never filled).
+func New(capacity int64) *Store {
+	return &Store{
+		capacity: capacity,
+		entries:  make(map[packet.ID]*Entry),
+		index:    make(map[packet.ID]int),
+		byDst:    make(map[packet.NodeID]int64),
+	}
+}
+
+// Capacity returns the configured capacity in bytes (<=0: unlimited).
+func (s *Store) Capacity() int64 { return s.capacity }
+
+// Used returns the bytes currently stored.
+func (s *Store) Used() int64 { return s.used }
+
+// Free returns remaining capacity, or math.MaxInt64 when unlimited.
+func (s *Store) Free() int64 {
+	if s.capacity <= 0 {
+		return math.MaxInt64
+	}
+	return s.capacity - s.used
+}
+
+// Len returns the number of buffered packets.
+func (s *Store) Len() int { return len(s.order) }
+
+// Has reports whether the packet is buffered.
+func (s *Store) Has(id packet.ID) bool {
+	_, ok := s.entries[id]
+	return ok
+}
+
+// Get returns the entry for id, or nil.
+func (s *Store) Get(id packet.ID) *Entry {
+	return s.entries[id]
+}
+
+// Entries returns the stored entries in the store's deterministic
+// internal order. The returned slice is shared — callers must not
+// modify it; copy before sorting.
+func (s *Store) Entries() []*Entry { return s.order }
+
+// Insert stores e, evicting lowest-utility unprotected entries as needed
+// when a utility function is supplied. It reports whether the packet was
+// stored. Inserting an already-present packet is a no-op returning true.
+// Inserting with insufficient space and util == nil fails.
+func (s *Store) Insert(e *Entry, util Utility) bool {
+	if e == nil || e.P == nil {
+		return false
+	}
+	if s.Has(e.P.ID) {
+		return true
+	}
+	need := e.P.Size
+	if s.capacity > 0 && need > s.capacity {
+		return false
+	}
+	if s.capacity > 0 && s.used+need > s.capacity {
+		if util == nil {
+			return false
+		}
+		if !s.makeRoom(need, util) {
+			return false
+		}
+	}
+	s.entries[e.P.ID] = e
+	s.index[e.P.ID] = len(s.order)
+	s.order = append(s.order, e)
+	s.used += need
+	s.byDst[e.P.Dst] += need
+	return true
+}
+
+// makeRoom evicts unprotected entries in increasing utility order until
+// `need` bytes fit. It returns false (leaving the store unchanged aside
+// from already-performed evictions being rolled forward — eviction is
+// destructive, as in the protocol) when protected entries prevent
+// reaching the target.
+func (s *Store) makeRoom(need int64, util Utility) bool {
+	for s.used+need > s.capacity {
+		victim := s.lowestUtility(util)
+		if victim == nil {
+			return false
+		}
+		s.Remove(victim.P.ID)
+	}
+	return true
+}
+
+// lowestUtility returns the unprotected entry with minimal utility, or
+// nil when every entry is protected. Ties break on packet ID for
+// determinism.
+func (s *Store) lowestUtility(util Utility) *Entry {
+	var best *Entry
+	bestU := math.Inf(1)
+	for _, e := range s.order {
+		if e.Own {
+			continue
+		}
+		u := util(e)
+		if best == nil || u < bestU || (u == bestU && e.P.ID < best.P.ID) {
+			best = e
+			bestU = u
+		}
+	}
+	return best
+}
+
+// Remove deletes the packet, reporting whether it was present.
+func (s *Store) Remove(id packet.ID) bool {
+	e, ok := s.entries[id]
+	if !ok {
+		return false
+	}
+	delete(s.entries, id)
+	i := s.index[id]
+	delete(s.index, id)
+	last := len(s.order) - 1
+	if i != last {
+		moved := s.order[last]
+		s.order[i] = moved
+		s.index[moved.P.ID] = i
+	}
+	s.order[last] = nil
+	s.order = s.order[:last]
+	s.used -= e.P.Size
+	s.byDst[e.P.Dst] -= e.P.Size
+	return true
+}
+
+// BytesFor returns the total buffered bytes destined to dst.
+func (s *Store) BytesFor(dst packet.NodeID) int64 { return s.byDst[dst] }
+
+// Ack marks a packet as delivered network-wide: the local copy (if any)
+// is dropped, including a source's own copy ("unless it receives an
+// acknowledgment"). Returns whether a copy was dropped.
+func (s *Store) Ack(id packet.ID) bool {
+	return s.Remove(id)
+}
+
+// DropExpired removes packets whose deadline has passed and returns the
+// victims. A source's own copy is retained: it can no longer contribute
+// to the deadline metric but remains the origin of record until acked
+// (matching the protocol's protection rule).
+func (s *Store) DropExpired(now float64) []*Entry {
+	var out []*Entry
+	for _, e := range s.order {
+		if !e.Own && e.P.Expired(now) {
+			out = append(out, e)
+		}
+	}
+	for _, e := range out {
+		s.Remove(e.P.ID)
+	}
+	return out
+}

@@ -1,0 +1,748 @@
+// Package control implements RAPID's control channel (§4.2): the
+// in-band, byte-accounted exchange of acknowledgments, buffer
+// inventories, per-replica delivery-delay estimates, average
+// transfer-opportunity sizes, and meeting-time tables — with delta
+// encoding ("The node only sends information about packets whose
+// information changed since the last exchange"). It also provides the
+// instant global channel used by the hybrid-DTN experiments
+// (Figs. 10–13), in which all metadata is shared through a zero-cost
+// global snapshot.
+package control
+
+import (
+	"math"
+	"sort"
+
+	"rapid/internal/meet"
+	"rapid/internal/packet"
+	"rapid/internal/stat"
+)
+
+// Wire-size constants for metadata records, in bytes. These mirror a
+// compact binary encoding: 8-byte packet IDs, 2-byte node IDs, 4-byte
+// float/size fields.
+const (
+	AckRecordBytes     = 8  // packet id
+	ReplicaRecordBytes = 14 // id + holder + delay estimate
+	MeetEntryBytes     = 6  // peer + mean gap
+	TableHeaderBytes   = 8  // owner + asOf + count
+	ScalarBytes        = 8  // avg transfer size record
+
+	// Buffer inventories are exchanged as compact summaries, not
+	// per-packet records: a Bloom filter over packet IDs for duplicate
+	// suppression (BloomBitsPerPacket per buffered packet at ~1% false
+	// positives) plus a per-destination queue digest (age-bucketed byte
+	// counts) that carries what Estimate-Delay needs to position
+	// hypothetical replicas in the peer's queues. This keeps the
+	// control channel at the paper's scale (metadata ≈ 0.02% of
+	// bandwidth, Table 3) while conveying the same estimation inputs.
+	BloomBitsPerPacket     = 10
+	QueueDigestBytesPerDst = 8
+)
+
+// ReplicaEstimate is one replica's location and its holder-reported
+// expected direct-delivery delay (E(M_XjZ) · n_j(i) in Eq. 9 terms).
+type ReplicaEstimate struct {
+	Holder packet.NodeID
+	Delay  float64
+	// Updated is when the estimate was produced; newer overwrites
+	// older during exchanges.
+	Updated float64
+}
+
+// PacketMeta is everything a node knows about a packet's replication
+// state ("for each encountered packet i, rapid maintains a list of
+// nodes that carry the replica of i, and for each replica, an estimated
+// time for direct delivery").
+type PacketMeta struct {
+	ID       packet.ID
+	Dst      packet.NodeID
+	Size     int64
+	Created  float64
+	Deadline float64
+	// Replicas is kept sorted by Holder; the slice layout (rather than
+	// a map) keeps the per-packet utility evaluation allocation-free
+	// and deterministic.
+	Replicas []ReplicaEstimate
+	// Updated is the latest local-knowledge change, for delta encoding.
+	Updated float64
+}
+
+// replica returns the index of holder's entry in m.Replicas and whether
+// it exists, by binary search.
+func (m *PacketMeta) replica(holder packet.NodeID) (int, bool) {
+	lo, hi := 0, len(m.Replicas)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if m.Replicas[mid].Holder < holder {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(m.Replicas) && m.Replicas[lo].Holder == holder
+}
+
+// upsertReplica inserts or refreshes holder's estimate, preserving
+// holder order and update-time monotonicity. It reports whether the
+// update changed anything worth re-gossiping (a new replica, or a
+// material delay movement).
+func (m *PacketMeta) upsertReplica(holder packet.NodeID, delay, now float64) bool {
+	i, ok := m.replica(holder)
+	if ok {
+		if now >= m.Replicas[i].Updated {
+			changed := materialDelayChange(m.Replicas[i].Delay, delay)
+			m.Replicas[i].Delay = delay
+			m.Replicas[i].Updated = now
+			return changed
+		}
+		return false
+	}
+	m.Replicas = append(m.Replicas, ReplicaEstimate{})
+	copy(m.Replicas[i+1:], m.Replicas[i:])
+	m.Replicas[i] = ReplicaEstimate{Holder: holder, Delay: delay, Updated: now}
+	return true
+}
+
+// InventoryItem describes one buffered packet in a node's inventory
+// announcement, including the holder's own fresh delivery estimate.
+type InventoryItem struct {
+	ID       packet.ID
+	Dst      packet.NodeID
+	Size     int64
+	Created  float64
+	Deadline float64
+	// Delay is the announcing node's current estimated time to deliver
+	// the packet directly to its destination.
+	Delay float64
+	Hops  int
+}
+
+// Options configures one metadata exchange.
+type Options struct {
+	// MaxBytes caps metadata bytes for this exchange; < 0 means
+	// unlimited (the paper's default: "We allow rapid to use as much
+	// bandwidth at the start of a transfer opportunity ... as it
+	// requires"). 0 disables metadata entirely.
+	MaxBytes int64
+	// LocalOnly suppresses third-party replica records — the
+	// rapid-local component of the Fig. 14 ablation.
+	LocalOnly bool
+	// AcksOnly exchanges only delivery acknowledgments (the
+	// "Random with acks" component, and MaxProp's notification flood).
+	AcksOnly bool
+}
+
+// Result summarizes an exchange for accounting (Fig. 9 reports
+// metadata as a fraction of data and of bandwidth).
+type Result struct {
+	Bytes     int64 // total metadata bytes transferred (both directions)
+	Acks      int
+	Inventory int
+	Replicas  int
+	Tables    int
+	Truncated bool // the MaxBytes cap cut the exchange short
+}
+
+// State is one node's control-plane state. Construct with NewState.
+type State struct {
+	self packet.NodeID
+	// Meet is the meeting-time estimator fed by this control plane.
+	Meet *meet.Estimator
+
+	global *Global // non-nil in instant-global mode
+
+	avgTransfer  stat.MovingAverage
+	peerTransfer map[packet.NodeID]float64
+
+	acked     map[packet.ID]float64 // id -> time learned
+	meta      map[packet.ID]*PacketMeta
+	tableAsOf map[packet.NodeID]float64 // freshness of merged meet tables
+
+	// ackLog and metaLog are time-ordered changelogs so delta
+	// exchanges scan only what changed since the last exchange with a
+	// peer, not the whole state (which grows with every packet ever
+	// seen).
+	ackLog  []logEvent
+	metaLog []logEvent
+
+	lastExchange map[packet.NodeID]float64
+	// announced tracks, per peer, the delay estimate last announced for
+	// each of this node's buffered packets, for inventory delta
+	// encoding ("The node only sends information about packets whose
+	// information changed since the last exchange", §4.2).
+	announced map[packet.NodeID]map[packet.ID]float64
+}
+
+// logEvent is one changelog entry.
+type logEvent struct {
+	t  float64
+	id packet.ID
+}
+
+// appendLog keeps events time-ordered (simulation time is monotone).
+func appendLog(log []logEvent, t float64, id packet.ID) []logEvent {
+	return append(log, logEvent{t: t, id: id})
+}
+
+// eventsAfter returns log entries with t > since.
+func eventsAfter(log []logEvent, since float64) []logEvent {
+	lo, hi := 0, len(log)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if log[mid].t <= since {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return log[lo:]
+}
+
+// NewState returns an empty control state for node self with an h-hop
+// meeting estimator. If g is non-nil the node participates in the
+// instant global channel: all queries read and all updates write the
+// shared snapshot.
+func NewState(self packet.NodeID, hops int, g *Global) *State {
+	s := &State{
+		self:         self,
+		Meet:         meet.New(self, hops),
+		global:       g,
+		peerTransfer: make(map[packet.NodeID]float64),
+		acked:        make(map[packet.ID]float64),
+		meta:         make(map[packet.ID]*PacketMeta),
+		tableAsOf:    make(map[packet.NodeID]float64),
+		lastExchange: make(map[packet.NodeID]float64),
+		announced:    make(map[packet.NodeID]map[packet.ID]float64),
+	}
+	if g != nil {
+		g.states[self] = s
+	}
+	return s
+}
+
+// Self returns the owning node ID.
+func (s *State) Self() packet.NodeID { return s.self }
+
+// Global reports whether this state runs over the instant global
+// channel.
+func (s *State) Global() bool { return s.global != nil }
+
+// ObserveTransfer folds a transfer-opportunity size into the node's
+// moving average ("the average size of past transfers").
+func (s *State) ObserveTransfer(bytes int64) {
+	s.avgTransfer.Observe(float64(bytes))
+	if s.global != nil {
+		s.global.avgTransfer[s.self] = s.avgTransfer.Value()
+	}
+}
+
+// AvgTransferBytes returns this node's own average opportunity size, or
+// def when nothing has been observed yet.
+func (s *State) AvgTransferBytes(def float64) float64 {
+	if s.avgTransfer.N() == 0 {
+		return def
+	}
+	return s.avgTransfer.Value()
+}
+
+// AvgTransferOf returns the best-known average opportunity size of any
+// node (B_j in Estimate-Delay), falling back to def.
+func (s *State) AvgTransferOf(node packet.NodeID, def float64) float64 {
+	if node == s.self {
+		return s.AvgTransferBytes(def)
+	}
+	if s.global != nil {
+		if v, ok := s.global.avgTransfer[node]; ok {
+			return v
+		}
+		return def
+	}
+	if v, ok := s.peerTransfer[node]; ok {
+		return v
+	}
+	return def
+}
+
+// LearnAck records that a packet has been delivered. Metadata for
+// delivered packets is deleted (§4.2).
+func (s *State) LearnAck(id packet.ID, now float64) {
+	if s.global != nil {
+		if _, ok := s.global.acked[id]; !ok {
+			s.global.acked[id] = now
+		}
+		return
+	}
+	if _, ok := s.acked[id]; !ok {
+		s.acked[id] = now
+		s.ackLog = appendLog(s.ackLog, now, id)
+		delete(s.meta, id)
+	}
+}
+
+// IsAcked reports whether the packet is known to be delivered.
+func (s *State) IsAcked(id packet.ID) bool {
+	if s.global != nil {
+		_, ok := s.global.acked[id]
+		return ok
+	}
+	_, ok := s.acked[id]
+	return ok
+}
+
+// AckCount returns the number of known-delivered packets.
+func (s *State) AckCount() int {
+	if s.global != nil {
+		return len(s.global.acked)
+	}
+	return len(s.acked)
+}
+
+// NoteReplica records (or refreshes) knowledge that `holder` carries a
+// replica with the given delivery-delay estimate.
+func (s *State) NoteReplica(item InventoryItem, holder packet.NodeID, now float64) {
+	if s.IsAcked(item.ID) {
+		return
+	}
+	if s.global != nil {
+		s.global.note(item, holder, now)
+		return
+	}
+	m := s.meta[item.ID]
+	if m == nil {
+		m = &PacketMeta{
+			ID: item.ID, Dst: item.Dst, Size: item.Size,
+			Created: item.Created, Deadline: item.Deadline,
+		}
+		s.meta[item.ID] = m
+	}
+	// Self-held replicas ride inventories, not the third-party gossip
+	// log; immaterial delay wiggles are not worth re-flooding either.
+	if m.upsertReplica(holder, item.Delay, now) && holder != s.self {
+		m.Updated = now
+		s.metaLog = appendLog(s.metaLog, now, item.ID)
+	}
+}
+
+// DropReplica forgets that holder carries the packet (used when a node
+// evicts a replica it previously announced).
+func (s *State) DropReplica(id packet.ID, holder packet.NodeID, now float64) {
+	if s.global != nil {
+		if m := s.global.meta[id]; m != nil {
+			m.removeReplica(holder)
+			m.Updated = now
+		}
+		return
+	}
+	if m := s.meta[id]; m != nil {
+		m.removeReplica(holder)
+		m.Updated = now
+		s.metaLog = appendLog(s.metaLog, now, id)
+	}
+}
+
+// removeReplica drops holder's entry if present.
+func (m *PacketMeta) removeReplica(holder packet.NodeID) {
+	if i, ok := m.replica(holder); ok {
+		m.Replicas = append(m.Replicas[:i], m.Replicas[i+1:]...)
+	}
+}
+
+// Replicas returns the known replica estimates for a packet, sorted by
+// holder. The slice is the live internal state — callers must not
+// modify it or retain it across state mutations.
+func (s *State) Replicas(id packet.ID) []ReplicaEstimate {
+	var m *PacketMeta
+	if s.global != nil {
+		m = s.global.meta[id]
+	} else {
+		m = s.meta[id]
+	}
+	if m == nil {
+		return nil
+	}
+	return m.Replicas
+}
+
+// ReplicaCount returns the number of known replicas of a packet
+// (at least 0; the local copy is included only if announced).
+func (s *State) ReplicaCount(id packet.ID) int {
+	if s.global != nil {
+		if m := s.global.meta[id]; m != nil {
+			return len(m.Replicas)
+		}
+		return 0
+	}
+	if m := s.meta[id]; m != nil {
+		return len(m.Replicas)
+	}
+	return 0
+}
+
+// Meta returns the stored metadata for a packet (nil if unknown).
+func (s *State) Meta(id packet.ID) *PacketMeta {
+	if s.global != nil {
+		return s.global.meta[id]
+	}
+	return s.meta[id]
+}
+
+// Global is the instant global control channel: one shared snapshot of
+// acks, replica sets, delay estimates, and transfer averages. "In our
+// experiments, we assumed that the global channel is instant" (§6.2.3).
+type Global struct {
+	acked       map[packet.ID]float64
+	meta        map[packet.ID]*PacketMeta
+	avgTransfer map[packet.NodeID]float64
+	states      map[packet.NodeID]*State
+}
+
+// NewGlobal returns an empty global snapshot.
+func NewGlobal() *Global {
+	return &Global{
+		acked:       make(map[packet.ID]float64),
+		meta:        make(map[packet.ID]*PacketMeta),
+		avgTransfer: make(map[packet.NodeID]float64),
+		states:      make(map[packet.NodeID]*State),
+	}
+}
+
+func (g *Global) note(item InventoryItem, holder packet.NodeID, now float64) {
+	m := g.meta[item.ID]
+	if m == nil {
+		m = &PacketMeta{
+			ID: item.ID, Dst: item.Dst, Size: item.Size,
+			Created: item.Created, Deadline: item.Deadline,
+		}
+		g.meta[item.ID] = m
+	}
+	m.upsertReplica(holder, item.Delay, now)
+	m.Updated = now
+}
+
+// SyncMeetingTables mirrors every node's direct meeting table to every
+// other node — with an instant channel the matrix is globally current.
+func (g *Global) SyncMeetingTables() {
+	for _, s := range g.states {
+		t := s.Meet.DirectTable()
+		for _, other := range g.states {
+			if other.self != s.self {
+				other.Meet.MergeTable(s.self, t)
+			}
+		}
+	}
+}
+
+// Exchange performs the bidirectional metadata exchange between nodes a
+// and b at a meeting. invA/invB are the nodes' current buffer
+// inventories with fresh delay estimates. It returns the byte cost
+// (zero in global mode — the channel is out of band).
+//
+// Exchange order, mirroring §4.2's list and degrading gracefully under
+// a byte cap: acknowledgments first (cheapest, highest value), then
+// average transfer sizes, then buffer inventories, then meeting-time
+// tables, then changed third-party replica records.
+func Exchange(a, b *State, invA, invB []InventoryItem, now float64, opts Options) Result {
+	var res Result
+	// Both sides always observe the meeting itself — discovering the
+	// peer is free (radio-layer neighbor discovery).
+	a.Meet.ObserveMeeting(b.self, now)
+	b.Meet.ObserveMeeting(a.self, now)
+
+	if a.global != nil && b.global != nil {
+		// Instant global channel: everything is already shared; the
+		// in-band exchange carries nothing. Inventories still update
+		// the snapshot (they carry fresh delay estimates).
+		for _, it := range invA {
+			a.NoteReplica(it, a.self, now)
+		}
+		for _, it := range invB {
+			b.NoteReplica(it, b.self, now)
+		}
+		a.global.SyncMeetingTables()
+		return res
+	}
+
+	budget := opts.MaxBytes
+	unlimited := budget < 0
+	spend := func(n int64) bool {
+		if unlimited {
+			res.Bytes += n
+			return true
+		}
+		if budget < n {
+			res.Truncated = true
+			return false
+		}
+		budget -= n
+		res.Bytes += n
+		return true
+	}
+
+	// 1. Acknowledgments, delta since the last exchange with this peer.
+	// Acks the receiver already knows are suppressed by the summary
+	// vector that prefixes a real exchange, so they cost nothing here.
+	sinceA := a.lastExchange[b.self]
+	sinceB := b.lastExchange[a.self]
+	for _, pair := range []struct {
+		from, to *State
+		since    float64
+	}{{a, b, sinceA}, {b, a, sinceB}} {
+		ids := pair.from.acksSince(pair.since)
+		for _, id := range ids {
+			if pair.to.IsAcked(id) {
+				continue
+			}
+			if !spend(AckRecordBytes) {
+				return finishExchange(a, b, now, res)
+			}
+			pair.to.LearnAck(id, now)
+			res.Acks++
+		}
+	}
+	if opts.AcksOnly {
+		return finishExchange(a, b, now, res)
+	}
+
+	// 2. Average transfer sizes (one scalar each way).
+	if spend(2 * ScalarBytes) {
+		if a.avgTransfer.N() > 0 {
+			b.peerTransfer[a.self] = a.avgTransfer.Value()
+		}
+		if b.avgTransfer.N() > 0 {
+			a.peerTransfer[b.self] = b.avgTransfer.Value()
+		}
+	} else {
+		return finishExchange(a, b, now, res)
+	}
+
+	// 3. Buffer inventories, encoded as a Bloom digest plus
+	// per-destination queue digests (see the wire-size constants). The
+	// holder's own delay estimates ride the digest ("For each of its
+	// own packets, the updated delivery delay estimate based on current
+	// buffer state").
+	for _, dir := range []struct {
+		from, to *State
+		inv      []InventoryItem
+	}{{a, b, invA}, {b, a, invB}} {
+		if len(dir.inv) == 0 {
+			continue
+		}
+		dsts := map[packet.NodeID]bool{}
+		for _, it := range dir.inv {
+			dsts[it.Dst] = true
+		}
+		cost := int64(len(dir.inv)*BloomBitsPerPacket+7)/8 +
+			int64(len(dsts))*QueueDigestBytesPerDst
+		if !spend(cost) {
+			return finishExchange(a, b, now, res)
+		}
+		for _, it := range dir.inv {
+			dir.from.NoteReplica(it, dir.from.self, now) // keep own estimate fresh
+			if dir.to.IsAcked(it.ID) {
+				continue
+			}
+			dir.to.NoteReplica(it, dir.from.self, now)
+			res.Inventory++
+		}
+	}
+
+	// 4. Meeting-time tables (gossip of all known tables, delta by
+	// freshness).
+	for _, dir := range []struct{ from, to *State }{{a, b}, {b, a}} {
+		own := dir.from.Meet.DirectTable()
+		if !spendTable(dir.to, dir.from.self, own, now, spend, &res) {
+			return finishExchange(a, b, now, res)
+		}
+		for _, owner := range sortedNodeIDs(dir.from.tableAsOf) {
+			if owner == dir.to.self || owner == dir.from.self {
+				continue
+			}
+			asOf := dir.from.tableAsOf[owner]
+			if asOf <= dir.to.tableAsOf[owner] {
+				continue
+			}
+			t := dir.from.Meet.TableOf(owner)
+			if t == nil {
+				continue
+			}
+			if !spendTable(dir.to, owner, t, asOf, spend, &res) {
+				return finishExchange(a, b, now, res)
+			}
+		}
+	}
+
+	// 5. Third-party replica records changed since the last exchange,
+	// scoped to packets the receiver is carrying: a node cares about
+	// the other replicas of packets in its own buffer (they set A(i) in
+	// Eq. 8); gossiping every replica of every packet network-wide
+	// would swamp the channel (and the paper's 0.02%-of-bandwidth
+	// budget) with records no utility computation reads.
+	if !opts.LocalOnly {
+		idsA := inventoryIDs(invA)
+		idsB := inventoryIDs(invB)
+		for _, dir := range []struct {
+			from, to *State
+			toIDs    map[packet.ID]bool
+			since    float64
+		}{{a, b, idsB, sinceA}, {b, a, idsA, sinceB}} {
+			for _, m := range dir.from.metaChangedSince(dir.since) {
+				if !dir.toIDs[m.ID] {
+					continue
+				}
+				for _, rep := range m.Replicas {
+					if rep.Holder == dir.from.self || rep.Holder == dir.to.self {
+						continue // covered by inventories
+					}
+					if rep.Updated <= dir.since {
+						continue
+					}
+					if !spend(ReplicaRecordBytes) {
+						return finishExchange(a, b, now, res)
+					}
+					dir.to.NoteReplica(InventoryItem{
+						ID: m.ID, Dst: m.Dst, Size: m.Size,
+						Created: m.Created, Deadline: m.Deadline,
+						Delay: rep.Delay,
+					}, rep.Holder, rep.Updated)
+					res.Replicas++
+				}
+			}
+		}
+	}
+	return finishExchange(a, b, now, res)
+}
+
+// spendTable transmits one meeting table to `to`, charging its wire
+// size against the exchange budget.
+func spendTable(to *State, owner packet.NodeID, t meet.Table, asOf float64, spend func(int64) bool, res *Result) bool {
+	cost := TableHeaderBytes + int64(len(t))*MeetEntryBytes
+	if !spend(cost) {
+		return false
+	}
+	to.Meet.MergeTable(owner, t)
+	if asOf > to.tableAsOf[owner] {
+		to.tableAsOf[owner] = asOf
+	}
+	res.Tables++
+	return true
+}
+
+// finishExchange stamps the per-peer exchange times.
+func finishExchange(a, b *State, now float64, res Result) Result {
+	a.lastExchange[b.self] = now
+	b.lastExchange[a.self] = now
+	// Record the freshness of each other's own tables.
+	if now > a.tableAsOf[b.self] {
+		a.tableAsOf[b.self] = now
+	}
+	if now > b.tableAsOf[a.self] {
+		b.tableAsOf[a.self] = now
+	}
+	return res
+}
+
+// acksSince returns ack IDs learned after `since`, sorted for
+// determinism. The changelog makes this O(changed), not O(all acks).
+func (s *State) acksSince(since float64) []packet.ID {
+	evs := eventsAfter(s.ackLog, since)
+	out := make([]packet.ID, 0, len(evs))
+	for _, ev := range evs {
+		out = append(out, ev.id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// metaChangedSince returns metadata entries updated after `since`,
+// sorted by packet ID, deduplicated from the changelog.
+func (s *State) metaChangedSince(since float64) []*PacketMeta {
+	evs := eventsAfter(s.metaLog, since)
+	seen := make(map[packet.ID]bool, len(evs))
+	var out []*PacketMeta
+	for _, ev := range evs {
+		if seen[ev.id] {
+			continue
+		}
+		seen[ev.id] = true
+		if m := s.meta[ev.id]; m != nil && m.Updated > since {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// inventoryIDs collects the packet IDs of an inventory.
+func inventoryIDs(inv []InventoryItem) map[packet.ID]bool {
+	ids := make(map[packet.ID]bool, len(inv))
+	for _, it := range inv {
+		ids[it.ID] = true
+	}
+	return ids
+}
+
+// materialDelayChange reports whether a delay estimate moved enough to
+// be worth re-announcing (25% relative, or a reachability flip).
+func materialDelayChange(old, new float64) bool {
+	oldInf, newInf := math.IsInf(old, 1), math.IsInf(new, 1)
+	if oldInf != newInf {
+		return true
+	}
+	if oldInf && newInf {
+		return false
+	}
+	base := math.Max(math.Abs(old), 1e-9)
+	return math.Abs(new-old)/base > 0.25
+}
+
+func sortedNodeIDs(m map[packet.NodeID]float64) []packet.NodeID {
+	out := make([]packet.NodeID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CombinedDelay applies Eq. 8/9: the expected remaining delay A(i) given
+// independent per-replica expected direct-delivery delays, under the
+// exponential approximation — the reciprocal of the summed rates.
+// Replicas with non-positive or infinite delay estimates contribute
+// nothing (unreachable holders). Returns +Inf when no replica can
+// deliver.
+func CombinedDelay(delays []float64) float64 {
+	rate := 0.0
+	for _, d := range delays {
+		if d > 0 && !math.IsInf(d, 1) {
+			rate += 1 / d
+		} else if d == 0 {
+			return 0 // a replica is already at the destination
+		}
+	}
+	if rate == 0 {
+		return math.Inf(1)
+	}
+	return 1 / rate
+}
+
+// DeliveryProb applies Eq. 7 to the deadline metric: the probability
+// that at least one replica delivers within t, with per-replica
+// exponential delays.
+func DeliveryProb(delays []float64, t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	rate := 0.0
+	for _, d := range delays {
+		if d > 0 && !math.IsInf(d, 1) {
+			rate += 1 / d
+		} else if d == 0 {
+			return 1
+		}
+	}
+	if rate == 0 {
+		return 0
+	}
+	return -math.Expm1(-rate * t)
+}

@@ -1,0 +1,321 @@
+package control
+
+import (
+	"math"
+	"testing"
+
+	"rapid/internal/packet"
+)
+
+func twoStates() (*State, *State) {
+	return NewState(0, 3, nil), NewState(1, 3, nil)
+}
+
+func unlimited() Options { return Options{MaxBytes: -1} }
+
+func TestExchangePropagatesAcks(t *testing.T) {
+	a, b := twoStates()
+	a.LearnAck(42, 10)
+	res := Exchange(a, b, nil, nil, 20, unlimited())
+	if !b.IsAcked(42) {
+		t.Fatal("ack not propagated")
+	}
+	if res.Acks != 1 {
+		t.Errorf("acks=%d want 1", res.Acks)
+	}
+	if res.Bytes < AckRecordBytes {
+		t.Errorf("bytes=%d too small", res.Bytes)
+	}
+	// Delta: second exchange sends no acks.
+	res2 := Exchange(a, b, nil, nil, 30, unlimited())
+	if res2.Acks != 0 {
+		t.Errorf("delta exchange resent acks: %d", res2.Acks)
+	}
+}
+
+func TestExchangeInventoryCreatesReplicaKnowledge(t *testing.T) {
+	a, b := twoStates()
+	inv := []InventoryItem{{ID: 7, Dst: 5, Size: 1024, Created: 1, Delay: 300}}
+	res := Exchange(a, b, inv, nil, 10, unlimited())
+	if res.Inventory != 1 {
+		t.Fatalf("inventory=%d want 1", res.Inventory)
+	}
+	reps := b.Replicas(7)
+	if len(reps) != 1 || reps[0].Holder != 0 || reps[0].Delay != 300 {
+		t.Fatalf("replicas=%v", reps)
+	}
+	// The announcing side records its own self-announcement too.
+	if got := a.ReplicaCount(7); got != 1 {
+		t.Errorf("sender replica count=%d want 1", got)
+	}
+	m := b.Meta(7)
+	if m == nil || m.Dst != 5 || m.Size != 1024 {
+		t.Fatalf("meta=%+v", m)
+	}
+}
+
+func TestThirdPartyReplicaGossip(t *testing.T) {
+	// a learns about node 9's replica via inventory from 9, then passes
+	// it to b at a later meeting — because b itself carries packet 7
+	// and needs to know about its other replicas (Eq. 8's A(i)).
+	a, _ := twoStates()
+	nine := NewState(9, 3, nil)
+	inv := []InventoryItem{{ID: 7, Dst: 5, Size: 1024, Delay: 120}}
+	Exchange(nine, a, inv, nil, 10, unlimited())
+	b := NewState(1, 3, nil)
+	invB := []InventoryItem{{ID: 7, Dst: 5, Size: 1024, Delay: 400}}
+	res := Exchange(a, b, nil, invB, 20, unlimited())
+	if res.Replicas == 0 {
+		t.Fatal("third-party replica record not gossiped")
+	}
+	reps := b.Replicas(7)
+	// b now knows of holders 9 (gossiped), a? (a never announced
+	// holding it), and itself.
+	var sawNine bool
+	for _, r := range reps {
+		if r.Holder == 9 {
+			sawNine = true
+		}
+	}
+	if !sawNine {
+		t.Fatalf("replicas=%v missing holder 9", reps)
+	}
+}
+
+func TestThirdPartyGossipScopedToReceiverBuffer(t *testing.T) {
+	// Replica records about packets the receiver does NOT hold are
+	// suppressed: no utility computation at the receiver reads them.
+	a, _ := twoStates()
+	nine := NewState(9, 3, nil)
+	Exchange(nine, a, []InventoryItem{{ID: 7, Dst: 5, Size: 1, Delay: 9}}, nil, 10, unlimited())
+	b := NewState(1, 3, nil)
+	res := Exchange(a, b, nil, nil, 20, unlimited())
+	if res.Replicas != 0 {
+		t.Errorf("gossiped %d records about packets the receiver lacks", res.Replicas)
+	}
+	if len(b.Replicas(7)) != 0 {
+		t.Error("receiver learned about a packet it does not carry")
+	}
+}
+
+func TestLocalOnlySuppressesThirdParty(t *testing.T) {
+	a, _ := twoStates()
+	nine := NewState(9, 3, nil)
+	Exchange(nine, a, []InventoryItem{{ID: 7, Dst: 5, Size: 1, Delay: 9}}, nil, 10, unlimited())
+	b := NewState(1, 3, nil)
+	res := Exchange(a, b, nil, nil, 20, Options{MaxBytes: -1, LocalOnly: true})
+	if res.Replicas != 0 {
+		t.Errorf("local-only exchange sent %d third-party records", res.Replicas)
+	}
+	if len(b.Replicas(7)) != 0 {
+		t.Error("third-party knowledge leaked in local-only mode")
+	}
+}
+
+func TestAcksOnlyMode(t *testing.T) {
+	a, b := twoStates()
+	a.LearnAck(1, 5)
+	a.ObserveTransfer(1000)
+	res := Exchange(a, b, []InventoryItem{{ID: 3, Dst: 2, Size: 1}}, nil, 10, Options{MaxBytes: -1, AcksOnly: true})
+	if !b.IsAcked(1) {
+		t.Error("acks-only exchange must carry acks")
+	}
+	if res.Inventory != 0 || res.Tables != 0 {
+		t.Errorf("acks-only exchange carried extra data: %+v", res)
+	}
+	if b.AvgTransferOf(0, -1) != -1 {
+		t.Error("acks-only exchange leaked transfer averages")
+	}
+}
+
+func TestByteCapTruncates(t *testing.T) {
+	a, b := twoStates()
+	for i := packet.ID(0); i < 100; i++ {
+		a.LearnAck(i, 1)
+	}
+	res := Exchange(a, b, nil, nil, 10, Options{MaxBytes: 80})
+	if !res.Truncated {
+		t.Error("exchange should be truncated")
+	}
+	if res.Bytes > 80 {
+		t.Errorf("bytes=%d exceeds cap", res.Bytes)
+	}
+	if res.Acks != 10 {
+		t.Errorf("acks=%d want 10 (80/8)", res.Acks)
+	}
+	// Zero budget: nothing at all.
+	c, d := NewState(5, 3, nil), NewState(6, 3, nil)
+	c.LearnAck(1, 1)
+	res = Exchange(c, d, nil, nil, 10, Options{MaxBytes: 0})
+	if res.Bytes != 0 || d.IsAcked(1) {
+		t.Error("zero budget must carry nothing")
+	}
+}
+
+func TestMeetingTablesGossip(t *testing.T) {
+	a, b := twoStates()
+	// a meets node 2 twice -> direct table entry (gaps 50, 100 -> 75).
+	a.Meet.ObserveMeeting(2, 50)
+	a.Meet.ObserveMeeting(2, 150)
+	Exchange(a, b, nil, nil, 200, unlimited())
+	// b can now estimate meeting node 2 through a's table.
+	if got := b.Meet.Expected(0, 2); got != 75 {
+		t.Errorf("b's view of E(M_a,2)=%v want 75", got)
+	}
+	if got := b.Meet.Expected(1, 2); math.IsInf(got, 1) {
+		t.Error("b should reach 2 transitively via a")
+	}
+}
+
+func TestExchangeObservesMeetingBothSides(t *testing.T) {
+	a, b := twoStates()
+	Exchange(a, b, nil, nil, 100, unlimited())
+	if got := a.Meet.Expected(0, 1); got != 100 {
+		t.Errorf("a's gap %v want 100", got)
+	}
+	if got := b.Meet.Expected(1, 0); got != 100 {
+		t.Errorf("b's gap %v want 100", got)
+	}
+}
+
+func TestAckClearsMetadataAndBlocksReplicas(t *testing.T) {
+	a, _ := twoStates()
+	item := InventoryItem{ID: 7, Dst: 5, Size: 1, Delay: 10}
+	a.NoteReplica(item, 3, 1)
+	if a.ReplicaCount(7) != 1 {
+		t.Fatal("replica not noted")
+	}
+	a.LearnAck(7, 2)
+	if a.Meta(7) != nil {
+		t.Error("metadata not purged on ack")
+	}
+	a.NoteReplica(item, 4, 3)
+	if a.ReplicaCount(7) != 0 {
+		t.Error("acked packet accepted new replica metadata")
+	}
+}
+
+func TestDropReplica(t *testing.T) {
+	a, _ := twoStates()
+	a.NoteReplica(InventoryItem{ID: 7, Dst: 5, Size: 1, Delay: 10}, 3, 1)
+	a.DropReplica(7, 3, 2)
+	if a.ReplicaCount(7) != 0 {
+		t.Error("replica not dropped")
+	}
+	a.DropReplica(99, 3, 2) // unknown packet: no-op
+}
+
+func TestAvgTransferPropagation(t *testing.T) {
+	a, b := twoStates()
+	a.ObserveTransfer(1000)
+	a.ObserveTransfer(3000)
+	Exchange(a, b, nil, nil, 10, unlimited())
+	if got := b.AvgTransferOf(0, -1); got != 2000 {
+		t.Errorf("B_a at b=%v want 2000", got)
+	}
+	if got := b.AvgTransferOf(7, 512); got != 512 {
+		t.Errorf("unknown node default=%v want 512", got)
+	}
+	if got := a.AvgTransferBytes(99); got != 2000 {
+		t.Errorf("own avg=%v", got)
+	}
+	empty := NewState(9, 3, nil)
+	if got := empty.AvgTransferBytes(99); got != 99 {
+		t.Errorf("default=%v", got)
+	}
+}
+
+func TestGlobalChannel(t *testing.T) {
+	g := NewGlobal()
+	a := NewState(0, 3, g)
+	b := NewState(1, 3, g)
+	c := NewState(2, 3, g)
+	// An ack by a is instantly visible everywhere.
+	a.LearnAck(5, 1)
+	if !b.IsAcked(5) || !c.IsAcked(5) {
+		t.Fatal("global ack not instant")
+	}
+	// Replica notes are shared.
+	a.NoteReplica(InventoryItem{ID: 9, Dst: 2, Size: 1, Delay: 77}, 0, 1)
+	if got := c.Replicas(9); len(got) != 1 || got[0].Delay != 77 {
+		t.Fatalf("global replicas=%v", got)
+	}
+	// Transfer averages are shared.
+	a.ObserveTransfer(4000)
+	if got := b.AvgTransferOf(0, -1); got != 4000 {
+		t.Errorf("global avg=%v", got)
+	}
+	// Exchange costs nothing.
+	res := Exchange(a, b, []InventoryItem{{ID: 9, Dst: 2, Size: 1, Delay: 60}}, nil, 10, unlimited())
+	if res.Bytes != 0 {
+		t.Errorf("global exchange cost %d bytes", res.Bytes)
+	}
+	// Meeting tables synced globally after exchange.
+	if got := c.Meet.Expected(0, 1); math.IsInf(got, 1) {
+		t.Error("global meeting tables not synced")
+	}
+	if !a.Global() {
+		t.Error("Global() must report true")
+	}
+}
+
+func TestCombinedDelay(t *testing.T) {
+	if got := CombinedDelay(nil); !math.IsInf(got, 1) {
+		t.Errorf("no replicas: %v want +Inf", got)
+	}
+	if got := CombinedDelay([]float64{100}); got != 100 {
+		t.Errorf("single replica: %v want 100", got)
+	}
+	// Two replicas at 100 each halve the delay (Eq. 8 with k=2, n=1).
+	if got := CombinedDelay([]float64{100, 100}); got != 50 {
+		t.Errorf("two replicas: %v want 50", got)
+	}
+	// Unreachable replicas contribute nothing.
+	if got := CombinedDelay([]float64{100, math.Inf(1), 0.0 - 1}); got != 100 {
+		t.Errorf("degenerate replicas: %v want 100", got)
+	}
+	// Delay 0 means already delivered.
+	if got := CombinedDelay([]float64{0, 50}); got != 0 {
+		t.Errorf("zero delay: %v", got)
+	}
+}
+
+func TestDeliveryProb(t *testing.T) {
+	if got := DeliveryProb([]float64{100}, 0); got != 0 {
+		t.Errorf("t=0: %v", got)
+	}
+	want := 1 - math.Exp(-1)
+	if got := DeliveryProb([]float64{100}, 100); math.Abs(got-want) > 1e-12 {
+		t.Errorf("P=%v want %v", got, want)
+	}
+	if got := DeliveryProb(nil, 50); got != 0 {
+		t.Errorf("no replicas: %v", got)
+	}
+	if got := DeliveryProb([]float64{0}, 50); got != 1 {
+		t.Errorf("delivered replica: %v", got)
+	}
+	// More replicas raise the probability.
+	one := DeliveryProb([]float64{100}, 50)
+	two := DeliveryProb([]float64{100, 100}, 50)
+	if two <= one {
+		t.Errorf("monotonicity: %v !> %v", two, one)
+	}
+}
+
+func TestReplicaEstimateFreshness(t *testing.T) {
+	a, _ := twoStates()
+	item := InventoryItem{ID: 7, Dst: 5, Size: 1, Delay: 100}
+	a.NoteReplica(item, 3, 10)
+	stale := item
+	stale.Delay = 500
+	a.NoteReplica(stale, 3, 5) // older update must not overwrite
+	if got := a.Replicas(7)[0].Delay; got != 100 {
+		t.Errorf("stale update overwrote: %v", got)
+	}
+	fresh := item
+	fresh.Delay = 50
+	a.NoteReplica(fresh, 3, 20)
+	if got := a.Replicas(7)[0].Delay; got != 50 {
+		t.Errorf("fresh update ignored: %v", got)
+	}
+}

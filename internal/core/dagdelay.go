@@ -1,0 +1,210 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+
+	"rapid/internal/packet"
+)
+
+// This file implements DAG-Delay (Appendix C): the idealized delay
+// estimator that honors the full dependency graph between packet
+// replicas across node buffers, instead of Estimate-Delay's
+// independence assumption that "ignores all the non-vertical
+// dependencies" (§4.1). It assumes unit-size transfer opportunities
+// (one packet per meeting), exactly as the appendix does, and requires
+// the global view that only the instant global channel could provide —
+// which is why the deployed protocol uses Estimate-Delay and this
+// algorithm serves as the reference for tests and the estimator
+// ablation bench.
+//
+// Distributions are represented by Monte-Carlo sample vectors. The ⊕
+// operator (sum of independent variables) adds a freshly drawn vector;
+// min of dependent delays takes the elementwise minimum of vectors that
+// *share* the samples of their common ancestors — which is precisely
+// the dependence structure the DAG encodes.
+
+// DagScenario describes a set of packets destined to one common node Z,
+// replicated across node buffers (the Fig. 2 setting).
+type DagScenario struct {
+	// Queues holds each node's buffer as an ordered packet list, head
+	// (next to be delivered) first. All packets are destined to Z.
+	Queues map[packet.NodeID][]packet.ID
+	// Rate is each node's meeting rate with Z (lambda = 1/mean gap).
+	Rate map[packet.NodeID]float64
+}
+
+// packetIDs returns all distinct packet IDs in the scenario, sorted.
+func (sc DagScenario) packetIDs() []packet.ID {
+	seen := map[packet.ID]bool{}
+	var out []packet.ID
+	for _, q := range sc.Queues {
+		for _, id := range q {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DagDelay runs Procedure dag_delay over the scenario and returns each
+// packet's expected delivery delay, estimated from `samples` Monte
+// Carlo draws with the given seed. It panics if the scenario contains a
+// successor cycle (impossible for real buffers, possible for corrupted
+// input).
+func DagDelay(sc DagScenario, samples int, seed int64) map[packet.ID]float64 {
+	if samples <= 0 {
+		samples = 4096
+	}
+	r := rand.New(rand.NewSource(seed))
+	// memo[p] is the sample vector of d(p).
+	memo := map[packet.ID][]float64{}
+	visiting := map[packet.ID]bool{}
+
+	// node/position of each replica.
+	type replica struct {
+		node packet.NodeID
+		pos  int
+	}
+	replicas := map[packet.ID][]replica{}
+	for n, q := range sc.Queues {
+		for pos, id := range q {
+			replicas[id] = append(replicas[id], replica{n, pos})
+		}
+	}
+	// Deterministic replica order for reproducible sampling.
+	for _, reps := range replicas {
+		sort.Slice(reps, func(i, j int) bool { return reps[i].node < reps[j].node })
+	}
+
+	drawExp := func(rate float64) []float64 {
+		v := make([]float64, samples)
+		for i := range v {
+			v[i] = r.ExpFloat64() / rate
+		}
+		return v
+	}
+
+	var eval func(id packet.ID) []float64
+	eval = func(id packet.ID) []float64 {
+		if v, ok := memo[id]; ok {
+			return v
+		}
+		if visiting[id] {
+			panic("core: dag-delay successor cycle")
+		}
+		visiting[id] = true
+		defer delete(visiting, id)
+
+		var dp []float64
+		for _, rep := range replicas[id] {
+			gap := drawExp(sc.Rate[rep.node])
+			var dj []float64
+			if rep.pos == 0 {
+				dj = gap // head of queue: one meeting away
+			} else {
+				succ := sc.Queues[rep.node][rep.pos-1]
+				ds := eval(succ)
+				dj = make([]float64, samples)
+				for i := range dj {
+					dj[i] = ds[i] + gap[i] // d(s) ⊕ e_n
+				}
+			}
+			if dp == nil {
+				dp = dj
+			} else {
+				for i := range dp {
+					if dj[i] < dp[i] {
+						dp[i] = dj[i]
+					}
+				}
+			}
+		}
+		memo[id] = dp
+		return dp
+	}
+
+	out := make(map[packet.ID]float64)
+	for _, id := range sc.packetIDs() {
+		v := eval(id)
+		var sum float64
+		for _, x := range v {
+			sum += x
+		}
+		out[id] = sum / float64(len(v))
+	}
+	return out
+}
+
+// EstimateDelayIndependentMC evaluates Estimate-Delay's *structural*
+// independence assumption exactly: each replica's delivery time is an
+// independent Gamma(position+1, λ) chain (the vertical edges only), and
+// the packet's delay is the minimum across replicas. Comparing this
+// against DagDelay isolates the inflation caused by ignoring the
+// non-vertical dependencies (Appendix C: the assumption "can
+// arbitrarily inflate delay estimates"), separately from Eq. 8's
+// additional gamma→exponential approximation.
+func EstimateDelayIndependentMC(sc DagScenario, samples int, seed int64) map[packet.ID]float64 {
+	if samples <= 0 {
+		samples = 4096
+	}
+	r := rand.New(rand.NewSource(seed))
+	type replica struct {
+		node packet.NodeID
+		pos  int
+	}
+	replicas := map[packet.ID][]replica{}
+	for n, q := range sc.Queues {
+		for pos, id := range q {
+			replicas[id] = append(replicas[id], replica{n, pos})
+		}
+	}
+	out := make(map[packet.ID]float64)
+	for _, id := range sc.packetIDs() {
+		reps := replicas[id]
+		sort.Slice(reps, func(i, j int) bool { return reps[i].node < reps[j].node })
+		var sum float64
+		for s := 0; s < samples; s++ {
+			m := 0.0
+			first := true
+			for _, rep := range reps {
+				// Gamma(pos+1, λ) as a sum of exponentials.
+				var t float64
+				for k := 0; k <= rep.pos; k++ {
+					t += r.ExpFloat64() / sc.Rate[rep.node]
+				}
+				if first || t < m {
+					m = t
+					first = false
+				}
+			}
+			sum += m
+		}
+		out[id] = sum / float64(samples)
+	}
+	return out
+}
+
+// EstimateDelayExpectation computes the same scenario's expected delays
+// under the full Estimate-Delay recipe (Eq. 8 with unit-size packets
+// and opportunities): replica at position k needs n = k+1 meetings,
+// each chain is approximated as exponential with the gamma's mean, and
+// A(i) = 1 / Σ_j λ_j/n_j.
+func EstimateDelayExpectation(sc DagScenario) map[packet.ID]float64 {
+	rates := map[packet.ID]float64{}
+	for n, q := range sc.Queues {
+		for pos, id := range q {
+			rates[id] += sc.Rate[n] / float64(pos+1)
+		}
+	}
+	out := make(map[packet.ID]float64, len(rates))
+	for id, rate := range rates {
+		if rate > 0 {
+			out[id] = 1 / rate
+		}
+	}
+	return out
+}

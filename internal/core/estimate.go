@@ -1,0 +1,218 @@
+// Package core implements RAPID — the paper's primary contribution: a
+// utility-driven DTN routing protocol that translates an
+// administrator-specified routing metric (average delay, missed
+// deadlines, or maximum delay) into per-packet utilities, and
+// replicates packets in decreasing order of marginal utility per byte
+// (§3), estimating delivery delays with the Estimate-Delay algorithm
+// over control-plane metadata (§4).
+package core
+
+import (
+	"math"
+	"sort"
+
+	"rapid/internal/buffer"
+	"rapid/internal/packet"
+	"rapid/internal/routing"
+)
+
+// QueueIndex precomputes, for one node's buffer, each packet's position
+// in its per-destination delivery queue: b(i), the total size of
+// packets that precede i (Fig. 1 of the paper). Queues are ordered
+// oldest-first — "sorted in decreasing order of T(i) or time since
+// creation — the order in which they would be delivered directly"
+// (§4.1).
+type QueueIndex struct {
+	ahead map[packet.ID]int64
+	byDst map[packet.NodeID][]qent
+}
+
+// qent is one position in a destination queue, with the cumulative
+// bytes of everything ahead of it.
+type qent struct {
+	created float64
+	id      packet.ID
+	size    int64
+	cum     int64
+}
+
+// NewQueueIndex builds the index for a store's current contents.
+func NewQueueIndex(store *buffer.Store) *QueueIndex {
+	byDst := map[packet.NodeID][]*buffer.Entry{}
+	for _, e := range store.Entries() {
+		byDst[e.P.Dst] = append(byDst[e.P.Dst], e)
+	}
+	idx := &QueueIndex{
+		ahead: make(map[packet.ID]int64, store.Len()),
+		byDst: make(map[packet.NodeID][]qent, len(byDst)),
+	}
+	for dst, q := range byDst {
+		sort.Slice(q, func(i, j int) bool {
+			if q[i].P.Created != q[j].P.Created {
+				return q[i].P.Created < q[j].P.Created // oldest first
+			}
+			return q[i].P.ID < q[j].P.ID
+		})
+		ents := make([]qent, len(q))
+		var cum int64
+		for i, e := range q {
+			idx.ahead[e.P.ID] = cum
+			ents[i] = qent{created: e.P.Created, id: e.P.ID, size: e.P.Size, cum: cum}
+			cum += e.P.Size
+		}
+		idx.byDst[dst] = ents
+	}
+	return idx
+}
+
+// BytesAhead returns b(i) for a packet in the indexed buffer, or 0 for
+// an unknown packet (for hypothetical placements use HypoBytesAhead).
+func (q *QueueIndex) BytesAhead(id packet.ID) int64 { return q.ahead[id] }
+
+// HypoBytesAhead computes b(i) as if p were inserted into the indexed
+// buffer: the bytes of already-buffered packets to the same destination
+// that are older than p. Used when hypothesizing a replica at the
+// contact peer (the peer's queue as just announced). O(log q) per
+// query.
+func (q *QueueIndex) HypoBytesAhead(p *packet.Packet) int64 {
+	ents := q.byDst[p.Dst]
+	if len(ents) == 0 {
+		return 0
+	}
+	// First entry NOT older than p.
+	i := sort.Search(len(ents), func(i int) bool {
+		e := ents[i]
+		if e.created != p.Created {
+			return e.created > p.Created
+		}
+		return e.id >= p.ID
+	})
+	// Everything before i is strictly older; if p itself is present at
+	// position i, its own bytes are not ahead of it.
+	if i < len(ents) && ents[i].id == p.ID {
+		return ents[i].cum
+	}
+	if i == 0 {
+		return 0
+	}
+	return ents[i-1].cum + ents[i-1].size
+}
+
+// Estimator implements Estimate-Delay (§4.1) from one node's local
+// view: its own buffer, its control state (replica metadata, average
+// transfer sizes), and its meeting-time matrix.
+type Estimator struct {
+	node *routing.Node
+}
+
+// NewEstimator returns an estimator bound to a node.
+func NewEstimator(n *routing.Node) *Estimator { return &Estimator{node: n} }
+
+// meetingsNeeded returns n_j(i), the number of meetings with the
+// destination needed to drain the queue ahead of i and send i itself.
+//
+// The paper states n_j(i) = ⌈b_j(i)/B_j⌉, which is 0 for the
+// head-of-queue packet and would make Eq. 8's λ/n division by zero; we
+// use ⌈(b_j(i)+s_i)/B_j⌉ clamped to at least 1, which agrees with the
+// paper for all non-head positions when sizes divide evenly and fixes
+// the degenerate case (see DESIGN.md §7).
+func meetingsNeeded(bytesAhead, size int64, avgTransfer float64) float64 {
+	if avgTransfer <= 0 {
+		return 1
+	}
+	n := math.Ceil(float64(bytesAhead+size) / avgTransfer)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// SelfDelay estimates the node's own direct-delivery time for packet p
+// given its current queue position: E(M_XZ) · n_X(i) (the Eq. 9 terms).
+// Returns +Inf when the destination is unreachable within the h-hop
+// matrix.
+func (est *Estimator) SelfDelay(p *packet.Packet, idx *QueueIndex) float64 {
+	em := est.node.Ctl.Meet.Expected(est.node.ID, p.Dst)
+	if math.IsInf(em, 1) {
+		return math.Inf(1)
+	}
+	b := est.node.Ctl.AvgTransferBytes(est.node.Net.Cfg.DefaultTransferBytes)
+	n := meetingsNeeded(idx.BytesAhead(p.ID), p.Size, b)
+	return em * n
+}
+
+// PeerDelay hypothesizes the direct-delivery time of a replica of p
+// placed at peer right now, using peer's just-announced buffer state
+// (pre-indexed in peerIdx) and the local matrix's estimate of E(M_YZ).
+func (est *Estimator) PeerDelay(peer *routing.Node, peerIdx *QueueIndex, p *packet.Packet) float64 {
+	em := est.node.Ctl.Meet.Expected(peer.ID, p.Dst)
+	if math.IsInf(em, 1) {
+		return math.Inf(1)
+	}
+	b := est.node.Ctl.AvgTransferOf(peer.ID, est.node.Net.Cfg.DefaultTransferBytes)
+	n := meetingsNeeded(peerIdx.HypoBytesAhead(p), p.Size, b)
+	return em * n
+}
+
+// KnownDelays gathers the per-replica expected direct-delivery delays
+// for packet p: the node's own fresh estimate plus the control plane's
+// estimates for remote replicas (stale by design — "the propagated
+// information may be stale", §4.2).
+func (est *Estimator) KnownDelays(p *packet.Packet, idx *QueueIndex) []float64 {
+	delays := []float64{est.SelfDelay(p, idx)}
+	for _, rep := range est.node.Ctl.Replicas(p.ID) {
+		if rep.Holder == est.node.ID {
+			continue // fresh local estimate already included
+		}
+		if rep.Holder == p.Dst {
+			continue // a replica at the destination is a delivery; ack pending
+		}
+		delays = append(delays, rep.Delay)
+	}
+	return delays
+}
+
+// RateSum returns Σ_j 1/d_j over p's replica delay estimates — the
+// combined exponential delivery rate of Eq. 7/8 — without allocating.
+// delivered reports a zero-delay replica (packet effectively at its
+// destination). This is the hot-path form of KnownDelays: it is
+// evaluated once per buffered packet per contact.
+func (est *Estimator) RateSum(p *packet.Packet, idx *QueueIndex) (rate float64, delivered bool) {
+	d := est.SelfDelay(p, idx)
+	if d == 0 {
+		return 0, true
+	}
+	if d > 0 && !math.IsInf(d, 1) {
+		rate += 1 / d
+	}
+	for _, rep := range est.node.Ctl.Replicas(p.ID) {
+		if rep.Holder == est.node.ID || rep.Holder == p.Dst {
+			continue
+		}
+		if rep.Delay == 0 {
+			return 0, true
+		}
+		if rep.Delay > 0 && !math.IsInf(rep.Delay, 1) {
+			rate += 1 / rep.Delay
+		}
+	}
+	return rate, false
+}
+
+// RemainingDelay returns A(i) = E[a(i)], the expected remaining time to
+// deliver p by any replica (Eq. 6/8).
+func (est *Estimator) RemainingDelay(p *packet.Packet, idx *QueueIndex) float64 {
+	rate, delivered := est.RateSum(p, idx)
+	if delivered {
+		return 0
+	}
+	if rate <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / rate
+}
+
+// ExpectedDelay returns D(i) = T(i) + A(i) (Table 2).
+func (est *Estimator) ExpectedDelay(p *packet.Packet, idx *QueueIndex, now float64) float64 {
+	return p.Age(now) + est.RemainingDelay(p, idx)
+}

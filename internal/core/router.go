@@ -1,0 +1,245 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"rapid/internal/buffer"
+	"rapid/internal/control"
+	"rapid/internal/packet"
+	"rapid/internal/routing"
+)
+
+// Router is the RAPID protocol (Protocol rapid, §3.4) bound to one
+// node. Construct via New.
+type Router struct {
+	metric Metric
+	node   *routing.Node
+	est    *Estimator
+
+	// peerIdx caches the contact peer's queue index between
+	// PlanReplication and the per-send EstimateReplicaDelay calls of
+	// the same session (rebuilding it per send would reintroduce the
+	// O(|buffer|²) cost the index exists to avoid).
+	peerIdx     *QueueIndex
+	peerIdxID   packet.NodeID
+	peerIdxTime float64
+}
+
+// New returns a factory producing RAPID routers optimizing the given
+// metric.
+func New(metric Metric) routing.RouterFactory {
+	return func(packet.NodeID) routing.Router {
+		return &Router{metric: metric}
+	}
+}
+
+// Name implements routing.Router.
+func (r *Router) Name() string { return "rapid/" + r.metric.String() }
+
+// Metric returns the routing objective this router optimizes.
+func (r *Router) Metric() Metric { return r.metric }
+
+// Attach implements routing.Router.
+func (r *Router) Attach(n *routing.Node) {
+	r.node = n
+	r.est = NewEstimator(n)
+}
+
+// Generate implements routing.Router: store the new packet as the
+// protected source copy and announce the replica to the control plane.
+// The fresh packet is younger than everything buffered, so its queue
+// position is the per-destination byte total — no index build needed
+// (packet generation is the highest-frequency event in the simulator).
+func (r *Router) Generate(p *packet.Packet, now float64) {
+	// Compute the position before inserting so the packet's own bytes
+	// are not counted ahead of itself.
+	ahead := r.node.Store.BytesFor(p.Dst)
+	e := &buffer.Entry{P: p, ReceivedAt: now, Own: true}
+	if !r.node.Store.Insert(e, r.bufferUtility(now)) {
+		return // a packet larger than total storage cannot be routed
+	}
+	delay := math.Inf(1)
+	if em := r.node.Ctl.Meet.Expected(r.node.ID, p.Dst); !math.IsInf(em, 1) {
+		b := r.node.Ctl.AvgTransferBytes(r.node.Net.Cfg.DefaultTransferBytes)
+		delay = em * meetingsNeeded(ahead, p.Size, b)
+	}
+	r.node.Ctl.NoteReplica(control.InventoryItem{
+		ID: p.ID, Dst: p.Dst, Size: p.Size,
+		Created: p.Created, Deadline: p.Deadline,
+		Delay: delay,
+	}, r.node.ID, now)
+}
+
+// Inventory implements routing.Router: announce every buffered packet
+// with a fresh local delivery estimate ("For each of its own packets,
+// the updated delivery delay estimate based on current buffer state",
+// §4.2).
+func (r *Router) Inventory(now float64) []control.InventoryItem {
+	idx := NewQueueIndex(r.node.Store)
+	entries := r.node.Store.Entries()
+	out := make([]control.InventoryItem, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, control.InventoryItem{
+			ID: e.P.ID, Dst: e.P.Dst, Size: e.P.Size,
+			Created: e.P.Created, Deadline: e.P.Deadline,
+			Delay: r.est.SelfDelay(e.P, idx),
+			Hops:  e.Hops,
+		})
+	}
+	return out
+}
+
+// DirectQueue implements routing.Router (Protocol rapid Step 2):
+// packets destined to the peer in decreasing utility order — oldest
+// first for the delay metrics, earliest remaining deadline first for
+// the deadline metric.
+func (r *Router) DirectQueue(peer packet.NodeID, now float64) []*buffer.Entry {
+	var out []*buffer.Entry
+	for _, e := range r.node.Store.Entries() {
+		if e.P.Dst == peer {
+			out = append(out, e)
+		}
+	}
+	if r.metric == Deadline {
+		sort.Slice(out, func(i, j int) bool {
+			ei, ej := out[i], out[j]
+			ri, iOK := remaining(ei.P, now)
+			rj, jOK := remaining(ej.P, now)
+			if iOK != jOK {
+				return iOK // live-deadline packets before expired/none
+			}
+			if iOK && ri != rj {
+				return ri < rj // most urgent first
+			}
+			return olderFirst(ei, ej)
+		})
+		return out
+	}
+	sort.Slice(out, func(i, j int) bool { return olderFirst(out[i], out[j]) })
+	return out
+}
+
+func remaining(p *packet.Packet, now float64) (float64, bool) {
+	if p.Deadline == 0 {
+		return 0, false
+	}
+	rem := p.Deadline - now
+	return rem, rem > 0
+}
+
+func olderFirst(a, b *buffer.Entry) bool {
+	if a.P.Created != b.P.Created {
+		return a.P.Created < b.P.Created
+	}
+	return a.P.ID < b.P.ID
+}
+
+// PlanReplication implements routing.Router (Protocol rapid Step 3):
+// rank buffered packets by marginal utility per byte of replicating
+// them to the peer. Candidates whose replication measurably helps the
+// metric (δU > 0) come first, in decreasing δU/s — the *intentional*
+// part. Candidates with no measurable gain follow as a work-conserving
+// tail (oldest first): bandwidth left over at a transfer opportunity is
+// a sunk resource, an extra replica can only help under the model, and
+// the estimates driving δU are themselves stale and conservative
+// ("this inaccurate information is sufficient", §4.2).
+//
+// For the max-delay metric the utility is non-zero only for the packet
+// with the maximum expected delay; once it is replicated the utility of
+// the remaining packets is recalculated (§3.5.3's work-conserving
+// rule). Because a replicated packet is immediately skipped by the
+// session thereafter, the recalculated order is exactly decreasing
+// D(i) — which is how it is produced here.
+func (r *Router) PlanReplication(peer *routing.Node, now float64) []*buffer.Entry {
+	idx := NewQueueIndex(r.node.Store)
+	peerIdx := r.peerIndex(peer, now)
+	cap := delayCap(r.node.Net.Horizon)
+	type cand struct {
+		e    *buffer.Entry
+		key  float64
+		tail bool // no measurable marginal gain; fills leftover budget
+	}
+	entries := r.node.Store.Entries()
+	cands := make([]cand, 0, len(entries))
+	for _, e := range entries {
+		if e.P.Dst == peer.ID {
+			continue
+		}
+		dY := r.est.PeerDelay(peer, peerIdx, e.P)
+		var key float64
+		switch r.metric {
+		case MaxDelay:
+			// Work-conserving order: decreasing expected delay among
+			// packets the peer could actually deliver.
+			if !math.IsInf(dY, 1) {
+				key = capDelay(r.est.ExpectedDelay(e.P, idx, now), cap)
+			}
+		case Deadline:
+			rate, delivered := r.est.RateSum(e.P, idx)
+			key = marginalDeadline(rate, delivered, dY, e.P, now) / float64(e.P.Size)
+		default: // AvgDelay
+			rate, delivered := r.est.RateSum(e.P, idx)
+			key = marginalAvgDelay(rate, delivered, dY, cap) / float64(e.P.Size)
+		}
+		cands = append(cands, cand{e: e, key: key, tail: key <= 0})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		ci, cj := cands[i], cands[j]
+		if ci.tail != cj.tail {
+			return !ci.tail // intentional candidates first
+		}
+		if !ci.tail && ci.key != cj.key {
+			return ci.key > cj.key
+		}
+		if ci.tail {
+			// Tail: oldest first (they have waited longest), ID ties.
+			if ci.e.P.Created != cj.e.P.Created {
+				return ci.e.P.Created < cj.e.P.Created
+			}
+		}
+		return ci.e.P.ID < cj.e.P.ID
+	})
+	out := make([]*buffer.Entry, len(cands))
+	for i, c := range cands {
+		out[i] = c.e
+	}
+	return out
+}
+
+// Accept implements routing.Router: store the replica under the
+// metric's eviction policy (§3.4's lowest-utility-first deletion).
+func (r *Router) Accept(e *buffer.Entry, from packet.NodeID, now float64) bool {
+	return r.node.Store.Insert(e, r.bufferUtility(now))
+}
+
+// EstimateReplicaDelay implements routing.ReplicaDelayEstimator: the
+// hypothesized direct-delivery delay of the copy just pushed to holder.
+func (r *Router) EstimateReplicaDelay(e *buffer.Entry, holder *routing.Node, now float64) float64 {
+	return r.est.PeerDelay(holder, r.peerIndex(holder, now), e.P)
+}
+
+// peerIndex returns a queue index over the peer's buffer, cached for
+// the duration of a contact (same peer, same clock).
+func (r *Router) peerIndex(peer *routing.Node, now float64) *QueueIndex {
+	if r.peerIdx == nil || r.peerIdxID != peer.ID || r.peerIdxTime != now {
+		r.peerIdx = NewQueueIndex(peer.Store)
+		r.peerIdxID = peer.ID
+		r.peerIdxTime = now
+	}
+	return r.peerIdx
+}
+
+// bufferUtility returns the eviction ranking for the current metric.
+// The queue index is rebuilt lazily on first use because eviction is
+// rare relative to insertion.
+func (r *Router) bufferUtility(now float64) buffer.Utility {
+	var idx *QueueIndex
+	cap := delayCap(r.node.Net.Horizon)
+	return func(e *buffer.Entry) float64 {
+		if idx == nil {
+			idx = NewQueueIndex(r.node.Store)
+		}
+		return evictionUtility(r.metric, r.est, idx, e, now, cap)
+	}
+}

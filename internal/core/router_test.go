@@ -1,0 +1,204 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"rapid/internal/buffer"
+	"rapid/internal/control"
+	"rapid/internal/mobility"
+	"rapid/internal/packet"
+	"rapid/internal/routing"
+	"rapid/internal/trace"
+)
+
+func TestGenerateStoresOwnProtectedCopy(t *testing.T) {
+	_, n0, _ := testNet(t, AvgDelay, 0)
+	p := &packet.Packet{ID: 1, Src: 0, Dst: 2, Size: 100, Created: 0}
+	n0.Router.Generate(p, 0)
+	e := n0.Store.Get(1)
+	if e == nil || !e.Own {
+		t.Fatal("generated packet not stored as own copy")
+	}
+	if n0.Ctl.ReplicaCount(1) != 1 {
+		t.Error("self replica not announced to control plane")
+	}
+}
+
+func TestDirectQueueOrdering(t *testing.T) {
+	_, n0, _ := testNet(t, AvgDelay, 0)
+	mk := func(id packet.ID, created float64) *buffer.Entry {
+		return &buffer.Entry{P: &packet.Packet{ID: id, Dst: 1, Size: 10, Created: created}}
+	}
+	n0.Store.Insert(mk(1, 30), nil)
+	n0.Store.Insert(mk(2, 10), nil)
+	n0.Store.Insert(mk(3, 20), nil)
+	n0.Store.Insert(&buffer.Entry{P: &packet.Packet{ID: 4, Dst: 9, Size: 10, Created: 0}}, nil)
+	q := n0.Router.DirectQueue(1, 50)
+	if len(q) != 3 {
+		t.Fatalf("queue %v", q)
+	}
+	if q[0].P.ID != 2 || q[1].P.ID != 3 || q[2].P.ID != 1 {
+		t.Errorf("order %v %v %v want oldest first", q[0].P.ID, q[1].P.ID, q[2].P.ID)
+	}
+}
+
+func TestDirectQueueDeadlineEDF(t *testing.T) {
+	_, n0, _ := testNet(t, Deadline, 0)
+	mk := func(id packet.ID, created, deadline float64) *buffer.Entry {
+		return &buffer.Entry{P: &packet.Packet{ID: id, Dst: 1, Size: 10, Created: created, Deadline: deadline}}
+	}
+	n0.Store.Insert(mk(1, 0, 100), nil) // remaining 50 at now=50
+	n0.Store.Insert(mk(2, 0, 60), nil)  // remaining 10: most urgent
+	n0.Store.Insert(mk(3, 0, 40), nil)  // expired
+	q := n0.Router.DirectQueue(1, 50)
+	if q[0].P.ID != 2 || q[1].P.ID != 1 || q[2].P.ID != 3 {
+		t.Errorf("EDF order %v %v %v want 2,1,3", q[0].P.ID, q[1].P.ID, q[2].P.ID)
+	}
+}
+
+func TestPlanReplicationPrefersFewReplicasAndGoodPeers(t *testing.T) {
+	// Paper §3.3: marginal utility is low when a packet has many
+	// replicas or when the peer is a poor choice for the destination.
+	_, n0, n1 := testNet(t, AvgDelay, 0)
+	now := 100.0
+	// n0 meets both destinations equally often; n1 meets them too.
+	n0.Ctl.Meet.ObserveMeeting(2, 100)
+	n0.Ctl.Meet.MergeTable(1, map[packet.NodeID]float64{2: 100})
+	n0.Ctl.ObserveTransfer(10000)
+
+	pMany := &packet.Packet{ID: 1, Src: 0, Dst: 2, Size: 100, Created: 0}
+	pFew := &packet.Packet{ID: 2, Src: 0, Dst: 2, Size: 100, Created: 0}
+	n0.Router.Generate(pMany, 0)
+	n0.Router.Generate(pFew, 0)
+	// pMany already has 5 remote replicas with decent estimates.
+	for h := packet.NodeID(10); h < 15; h++ {
+		n0.Ctl.NoteReplica(control.InventoryItem{
+			ID: pMany.ID, Dst: pMany.Dst, Size: pMany.Size,
+			Created: pMany.Created, Delay: 120,
+		}, h, 1)
+	}
+	plan := n0.Router.PlanReplication(n1, now)
+	if len(plan) != 2 {
+		t.Fatalf("plan size %d want 2: both replicable", len(plan))
+	}
+	if plan[0].P.ID != 2 {
+		t.Errorf("packet with fewer replicas must rank first, got %d", plan[0].P.ID)
+	}
+}
+
+func TestPlanReplicationRanksUselessPeerLast(t *testing.T) {
+	// A packet whose destination the peer can never reach (per the
+	// meeting matrix) yields zero marginal utility and is relegated to
+	// the work-conserving tail, behind every packet with measurable
+	// gain.
+	_, n0, n1 := testNet(t, AvgDelay, 0)
+	n0.Ctl.Meet.ObserveMeeting(2, 100)
+	n0.Ctl.Meet.ObserveMeeting(1, 50)
+	n0.Ctl.Meet.MergeTable(1, map[packet.NodeID]float64{2: 100})
+	// pGood's destination (2) is reachable by the peer; pStuck's
+	// destination (9) is unknown to everyone.
+	pStuck := &packet.Packet{ID: 1, Src: 0, Dst: 9, Size: 100, Created: 0}
+	pGood := &packet.Packet{ID: 2, Src: 0, Dst: 2, Size: 100, Created: 5}
+	n0.Router.Generate(pStuck, 0)
+	n0.Router.Generate(pGood, 5)
+	plan := n0.Router.PlanReplication(n1, 10)
+	if len(plan) != 2 {
+		t.Fatalf("plan size %d want 2 (tail is work-conserving)", len(plan))
+	}
+	if plan[0].P.ID != 2 || plan[1].P.ID != 1 {
+		t.Errorf("order %d,%d want gainful packet first", plan[0].P.ID, plan[1].P.ID)
+	}
+}
+
+func TestMaxDelayPlanOrdersByExpectedDelay(t *testing.T) {
+	_, n0, n1 := testNet(t, MaxDelay, 0)
+	n0.Ctl.Meet.ObserveMeeting(2, 100)
+	n0.Ctl.Meet.ObserveMeeting(1, 50)
+	n0.Ctl.ObserveTransfer(100000)
+	pOld := &packet.Packet{ID: 1, Src: 0, Dst: 2, Size: 100, Created: 0}
+	pNew := &packet.Packet{ID: 2, Src: 0, Dst: 2, Size: 100, Created: 90}
+	n0.Router.Generate(pOld, 0)
+	n0.Router.Generate(pNew, 90)
+	plan := n0.Router.PlanReplication(n1, 100)
+	if len(plan) != 2 {
+		t.Fatalf("plan %v", plan)
+	}
+	if plan[0].P.ID != 1 {
+		t.Errorf("max-delay metric must prioritize the oldest packet, got %d", plan[0].P.ID)
+	}
+}
+
+func TestEndToEndRapidBeatsNoReplication(t *testing.T) {
+	// Sanity: on a random mobility scenario RAPID delivers a solid
+	// fraction of packets and respects feasibility.
+	model := mobility.Exponential{Config: mobility.Config{
+		Nodes: 12, Duration: 900, MeanMeeting: 60, TransferBytes: 20 << 10,
+	}}
+	sched := model.Schedule(rand.New(rand.NewSource(3)))
+	w := packet.Generate(packet.GenConfig{
+		Nodes: sched.Nodes(), PacketsPerHourPerDest: 2, LoadWindow: 50,
+		Duration: 600, PacketSize: 1 << 10, FirstID: 1,
+	}, rand.New(rand.NewSource(4)))
+	c := routing.Run(routing.Scenario{
+		Schedule: sched, Workload: w, Factory: New(AvgDelay),
+		Cfg: routing.Config{
+			BufferBytes: 100 << 10, Mode: routing.ControlInBand,
+			MetaFraction: -1, DefaultTransferBytes: 20 << 10,
+		},
+		Seed: 5,
+	})
+	s := c.Summarize(900)
+	if s.DeliveryRate < 0.5 {
+		t.Errorf("delivery rate %v too low for a mild load", s.DeliveryRate)
+	}
+	if s.DataBytes+s.MetaBytes > s.OpportunityBytes {
+		t.Error("feasibility violated")
+	}
+	if s.MetaBytes == 0 {
+		t.Error("in-band control channel sent nothing")
+	}
+	if c.Replications == 0 {
+		t.Error("RAPID never replicated")
+	}
+}
+
+func TestRapidDeterministic(t *testing.T) {
+	run := func() float64 {
+		sched := (&trace.Schedule{Duration: 300, Meetings: []trace.Meeting{
+			{A: 0, B: 1, Time: 10, Bytes: 5000},
+			{A: 1, B: 2, Time: 50, Bytes: 5000},
+			{A: 0, B: 2, Time: 90, Bytes: 5000},
+			{A: 0, B: 1, Time: 130, Bytes: 5000},
+			{A: 1, B: 2, Time: 170, Bytes: 5000},
+		}})
+		w := packet.Workload{
+			{ID: 1, Src: 0, Dst: 2, Size: 1000, Created: 0},
+			{ID: 2, Src: 2, Dst: 0, Size: 1000, Created: 5},
+			{ID: 3, Src: 1, Dst: 0, Size: 1000, Created: 20},
+		}
+		c := routing.Run(routing.Scenario{
+			Schedule: sched, Workload: w, Factory: New(AvgDelay),
+			Cfg:  routing.Config{Mode: routing.ControlInBand, MetaFraction: -1},
+			Seed: 9,
+		})
+		s := c.Summarize(300)
+		return s.AvgDelay*1e6 + float64(s.Delivered)*10 + float64(s.MetaBytes)
+	}
+	if run() != run() {
+		t.Error("RAPID run is not deterministic")
+	}
+}
+
+func TestNameIncludesMetric(t *testing.T) {
+	for _, m := range []Metric{AvgDelay, Deadline, MaxDelay} {
+		f := New(m)
+		r := f(0)
+		if r.Name() != "rapid/"+m.String() {
+			t.Errorf("name %q", r.Name())
+		}
+	}
+	if Metric(99).String() == "" {
+		t.Error("unknown metric must stringify")
+	}
+}

@@ -1,0 +1,474 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"rapid/internal/core"
+	"rapid/internal/metrics"
+	"rapid/internal/packet"
+	"rapid/internal/routing"
+	"rapid/internal/routing/optimal"
+	"rapid/internal/stat"
+)
+
+// Output is one experiment's reproduced artifact.
+type Output struct {
+	Figure *Figure
+	Table  *TableData
+	Notes  []string
+}
+
+// Figure aliases report's type via local definitions to keep exp free
+// of a report import cycle risk; it is converted by callers.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []SeriesData
+}
+
+// SeriesData is one curve.
+type SeriesData struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// TableData is a header + rows (Table 3 reproduction).
+type TableData struct {
+	Header []string
+	Rows   [][]string
+}
+
+// Experiment couples a paper artifact with its regeneration function.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(sc Scale) Output
+}
+
+// All returns every reproduced table and figure in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"table3", "Deployment daily statistics", Table3},
+		{"fig3", "Validation: deployment vs simulation average delay", Fig3},
+		{"fig4", "Trace: average delay vs load", Fig4},
+		{"fig5", "Trace: delivery rate vs load", Fig5},
+		{"fig6", "Trace: max delay vs load", Fig6},
+		{"fig7", "Trace: delivered within deadline vs load", Fig7},
+		{"fig8", "Trace: control channel benefit (metadata cap sweep)", Fig8},
+		{"fig9", "Trace: channel utilization and metadata vs load", Fig9},
+		{"fig10", "Trace: avg delay, in-band vs instant global channel", Fig10},
+		{"fig11", "Trace: delivery rate, in-band vs instant global channel", Fig11},
+		{"fig12", "Trace: within deadline, in-band vs instant global channel", Fig12},
+		{"fig13", "Trace: comparison with Optimal (small loads)", Fig13},
+		{"fig14", "Trace: RAPID component ablation", Fig14},
+		{"fig15", "Trace: Jain fairness CDF for parallel packets", Fig15},
+		{"fig16", "Power law: average delay vs load", Fig16},
+		{"fig17", "Power law: max delay vs load", Fig17},
+		{"fig18", "Power law: delivered within deadline vs load", Fig18},
+		{"fig19", "Power law: average delay vs buffer size", Fig19},
+		{"fig20", "Power law: max delay vs buffer size", Fig20},
+		{"fig21", "Power law: delivered within deadline vs buffer size", Fig21},
+		{"fig22", "Exponential: average delay vs load", Fig22},
+		{"fig23", "Exponential: max delay vs load", Fig23},
+		{"fig24", "Exponential: delivered within deadline vs load", Fig24},
+	}
+}
+
+// ByID looks an experiment up.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// ---------------------------------------------------------------------
+// Trace comparison sweeps (Figs. 4–7)
+
+// traceComparison sweeps the load axis for the comparison set.
+func traceComparison(sc Scale, metric core.Metric, value func(metrics.Summary) float64, id, title, ylabel string) Output {
+	p := DefaultTraceParams()
+	fig := &Figure{ID: id, Title: title, XLabel: "packets generated per hour per destination", YLabel: ylabel}
+	for _, proto := range ComparisonSet() {
+		s := SeriesData{Label: string(proto)}
+		for _, load := range sc.TraceLoads {
+			s.X = append(s.X, load)
+			s.Y = append(s.Y, avgTrace(p, sc, load, proto, metric, "", nil, value))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return Output{Figure: fig}
+}
+
+// Fig4 reproduces Figure 4 (average delay of delivered packets).
+func Fig4(sc Scale) Output {
+	return traceComparison(sc, core.AvgDelay, avgDelayMin,
+		"fig4", "Average delay vs load (trace)", "avg delay (min)")
+}
+
+// Fig5 reproduces Figure 5 (delivery rate; RAPID run with the
+// average-delay metric, as in the paper's shared sweep).
+func Fig5(sc Scale) Output {
+	return traceComparison(sc, core.AvgDelay, deliveryRate,
+		"fig5", "Delivery rate vs load (trace)", "fraction delivered")
+}
+
+// Fig6 reproduces Figure 6 (maximum delay; RAPID optimizes Eq. 3).
+func Fig6(sc Scale) Output {
+	return traceComparison(sc, core.MaxDelay, maxDelayMin,
+		"fig6", "Max delay vs load (trace)", "max delay (min)")
+}
+
+// Fig7 reproduces Figure 7 (fraction delivered within the 2.7 h
+// deadline; RAPID optimizes Eq. 2).
+func Fig7(sc Scale) Output {
+	return traceComparison(sc, core.Deadline, withinDeadline,
+		"fig7", "Delivered within deadline vs load (trace)", "fraction within deadline")
+}
+
+// ---------------------------------------------------------------------
+// Control-channel studies (Figs. 8–12)
+
+// Fig8 reproduces Figure 8: RAPID average delay as the metadata budget
+// is capped at a fraction of each opportunity, at three loads.
+// Unlimited metadata plots at x = 0.4 (just past the paper's 0.35 axis
+// end) and is called out in the notes.
+func Fig8(sc Scale) Output {
+	p := DefaultTraceParams()
+	fig := &Figure{
+		ID: "fig8", Title: "Control channel benefit (trace)",
+		XLabel: "metadata cap (fraction of opportunity; 0.4 = unlimited)",
+		YLabel: "avg delay (min)",
+	}
+	loads := []float64{6, 12, 20}
+	if sc.Name == "tiny" {
+		loads = []float64{6}
+	}
+	for _, load := range loads {
+		s := SeriesData{Label: fmt.Sprintf("load %g/hour/destination", load)}
+		for _, frac := range sc.MetaFractions {
+			x := frac
+			if frac < 0 {
+				x = 0.4
+			}
+			frac := frac
+			y := avgTrace(p, sc, load, ProtoRapid, core.AvgDelay,
+				fmt.Sprintf("meta=%g", frac),
+				func(c *routing.Config) { c.MetaFraction = frac },
+				avgDelayMin)
+			s.X = append(s.X, x)
+			s.Y = append(s.Y, y)
+		}
+		sortSeries(&s)
+		fig.Series = append(fig.Series, s)
+	}
+	return Output{Figure: fig, Notes: []string{
+		"x = 0.4 is the unlimited-metadata arm (paper: best performance with no restriction)",
+	}}
+}
+
+// Fig9 reproduces Figure 9: channel utilization, metadata/data ratio,
+// and delivery rate as load grows past the comparison range.
+func Fig9(sc Scale) Output {
+	p := DefaultTraceParams()
+	loads := append(append([]float64{}, sc.TraceLoads...),
+		sc.TraceLoads[len(sc.TraceLoads)-1]*1.4,
+		sc.TraceLoads[len(sc.TraceLoads)-1]*1.875)
+	fig := &Figure{
+		ID: "fig9", Title: "Channel utilization (trace)",
+		XLabel: "packets generated per hour per destination",
+		YLabel: "fraction",
+	}
+	util := SeriesData{Label: "% channel utilization"}
+	meta := SeriesData{Label: "Meta information/RAPID data"}
+	rate := SeriesData{Label: "Delivery rate"}
+	for _, load := range loads {
+		util.X = append(util.X, load)
+		meta.X = append(meta.X, load)
+		rate.X = append(rate.X, load)
+		util.Y = append(util.Y, avgTrace(p, sc, load, ProtoRapid, core.AvgDelay, "", nil, channelUtilization))
+		meta.Y = append(meta.Y, avgTrace(p, sc, load, ProtoRapid, core.AvgDelay, "", nil, metaOverData))
+		rate.Y = append(rate.Y, avgTrace(p, sc, load, ProtoRapid, core.AvgDelay, "", nil, deliveryRate))
+	}
+	fig.Series = []SeriesData{meta, util, rate}
+	return Output{Figure: fig}
+}
+
+// globalVsInBand powers Figs. 10–12.
+func globalVsInBand(sc Scale, metric core.Metric, value func(metrics.Summary) float64, id, title, ylabel string) Output {
+	p := DefaultTraceParams()
+	fig := &Figure{ID: id, Title: title, XLabel: "packets generated per hour per destination", YLabel: ylabel}
+	for _, proto := range []Proto{ProtoRapid, ProtoRapidGlobal} {
+		label := "In-band control channel"
+		if proto == ProtoRapidGlobal {
+			label = "Instant global control channel"
+		}
+		s := SeriesData{Label: label}
+		for _, load := range sc.TraceLoads {
+			s.X = append(s.X, load)
+			s.Y = append(s.Y, avgTrace(p, sc, load, proto, metric, "", nil, value))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return Output{Figure: fig}
+}
+
+// Fig10 reproduces Figure 10 (average delay, hybrid DTN).
+func Fig10(sc Scale) Output {
+	return globalVsInBand(sc, core.AvgDelay, avgDelayMin,
+		"fig10", "Avg delay: in-band vs instant global channel", "avg delay (min)")
+}
+
+// Fig11 reproduces Figure 11 (delivery rate, hybrid DTN).
+func Fig11(sc Scale) Output {
+	return globalVsInBand(sc, core.AvgDelay, deliveryRate,
+		"fig11", "Delivery rate: in-band vs instant global channel", "fraction delivered")
+}
+
+// Fig12 reproduces Figure 12 (within-deadline, hybrid DTN).
+func Fig12(sc Scale) Output {
+	return globalVsInBand(sc, core.Deadline, withinDeadline,
+		"fig12", "Within deadline: in-band vs instant global channel", "fraction within deadline")
+}
+
+// ---------------------------------------------------------------------
+// Optimality and components (Figs. 13–15)
+
+// Fig13 reproduces Figure 13: average delay including undelivered
+// packets for Optimal, RAPID (both channels) and MaxProp at small
+// loads. The offline oracle substitutes for the paper's CPLEX ILP
+// (cross-checked in internal/routing/optimal's tests; see DESIGN.md).
+func Fig13(sc Scale) Output {
+	p := DefaultTraceParams()
+	fig := &Figure{
+		ID: "fig13", Title: "Comparison with Optimal (trace, small loads)",
+		XLabel: "packets generated per hour per destination",
+		YLabel: "avg delay incl. undelivered (min)",
+	}
+	arms := []struct {
+		label string
+		proto Proto
+	}{
+		{"Rapid: Instant global control channel", ProtoRapidGlobal},
+		{"Rapid: In-band control channel", ProtoRapid},
+		{"Maxprop", ProtoMaxProp},
+	}
+	optSeries := SeriesData{Label: "Optimal"}
+	for _, load := range sc.OptimalLoads {
+		var sum float64
+		var n int
+		for day := 0; day < sc.Days; day++ {
+			sched := traceDay(p, sc, day)
+			w := traceWorkload(p, sc, sched, load, int64(day)*1000^0x5ca1ab1e, true)
+			res := optimal.Solve(sched, w, optimal.Options{})
+			sum += res.AvgDelayAll() / 60
+			n++
+		}
+		optSeries.X = append(optSeries.X, load)
+		optSeries.Y = append(optSeries.Y, sum/float64(n))
+	}
+	fig.Series = append(fig.Series, optSeries)
+	for _, a := range arms {
+		s := SeriesData{Label: a.label}
+		for _, load := range sc.OptimalLoads {
+			s.X = append(s.X, load)
+			s.Y = append(s.Y, avgTrace(p, sc, load, a.proto, core.AvgDelay, "", nil, avgDelayAllMin))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return Output{Figure: fig, Notes: []string{
+		"Optimal is the offline earliest-arrival oracle with capacity reservation (single-copy, like the paper's ILP); exact-ILP cross-checks live in internal/routing/optimal tests",
+	}}
+}
+
+// Fig14 reproduces Figure 14: the component ablation from Random up to
+// full RAPID.
+func Fig14(sc Scale) Output {
+	p := DefaultTraceParams()
+	fig := &Figure{
+		ID: "fig14", Title: "RAPID component ablation (trace)",
+		XLabel: "packets generated per hour per destination",
+		YLabel: "avg delay (min)",
+	}
+	arms := []Proto{ProtoRapid, ProtoRapidLocal, ProtoRandomAcks, ProtoRandom}
+	for _, proto := range arms {
+		s := SeriesData{Label: string(proto)}
+		for _, load := range sc.TraceLoads {
+			s.X = append(s.X, load)
+			s.Y = append(s.Y, avgTrace(p, sc, load, proto, core.AvgDelay, "", nil, avgDelayMin))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return Output{Figure: fig}
+}
+
+// Fig15 reproduces Figure 15: the CDF of Jain's fairness index over
+// per-cohort delays of packets created in parallel, under contention.
+func Fig15(sc Scale) Output {
+	p := DefaultTraceParams()
+	fig := &Figure{
+		ID: "fig15", Title: "RAPID fairness (trace)",
+		XLabel: "fairness index", YLabel: "CDF of cohorts",
+	}
+	for _, parallel := range []int{20, 30} {
+		var indices []float64
+		for day := 0; day < sc.Days; day++ {
+			sched := traceDay(p, sc, day)
+			nodes := sched.Nodes()
+			r := rand.New(rand.NewSource(int64(day)*17 + int64(parallel)))
+			// Background load keeps resources contended (§6.2.5 used
+			// 60 packets/hour/node); cohorts ride on top.
+			bg := traceWorkload(p, sc, sched, 10, int64(day)+99, false)
+			cohorts := packet.GenerateParallel(nodes, 8, parallel,
+				sched.Duration/10, p.PacketBytes, r)
+			// Re-ID cohorts above the background range.
+			for i, cp := range cohorts {
+				cp.ID = packet.ID(1_000_000 + i)
+			}
+			w := append(append(packet.Workload{}, bg...), cohorts...)
+			w.Sort()
+			factory, cfg := arm(ProtoRapid, core.AvgDelay, baseTraceConfig(p))
+			col := routing.Run(routing.Scenario{
+				Schedule: sched, Workload: w, Factory: factory, Cfg: cfg,
+				Seed: int64(day),
+			})
+			indices = append(indices, col.CohortFairness(sched.Duration)...)
+		}
+		sort.Float64s(indices)
+		ecdf := stat.NewECDF(indices)
+		xs, ys := ecdf.Points(min(64, len(indices)))
+		fig.Series = append(fig.Series, SeriesData{
+			Label: fmt.Sprintf("Number of parallel packets: %d", parallel),
+			X:     xs, Y: ys,
+		})
+	}
+	return Output{Figure: fig}
+}
+
+// ---------------------------------------------------------------------
+// Synthetic mobility (Figs. 16–24)
+
+// synthComparison sweeps the load axis under a mobility model.
+func synthComparison(sc Scale, model string, metric core.Metric, value func(metrics.Summary) float64, id, title, ylabel string) Output {
+	p := DefaultSynthParams()
+	fig := &Figure{
+		ID: id, Title: title,
+		XLabel: "packets generated per 50 s per destination",
+		YLabel: ylabel,
+	}
+	for _, proto := range ComparisonSet() {
+		s := SeriesData{Label: string(proto)}
+		for _, load := range sc.SynthLoads {
+			s.X = append(s.X, load)
+			s.Y = append(s.Y, avgSynth(p, sc, model, load, proto, metric, "", nil, value))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return Output{Figure: fig}
+}
+
+// Fig16 reproduces Figure 16 (power-law average delay).
+func Fig16(sc Scale) Output {
+	return synthComparison(sc, "powerlaw", core.AvgDelay, avgDelaySec,
+		"fig16", "Average delay vs load (power law)", "avg delay (s)")
+}
+
+// Fig17 reproduces Figure 17 (power-law max delay).
+func Fig17(sc Scale) Output {
+	return synthComparison(sc, "powerlaw", core.MaxDelay, maxDelaySec,
+		"fig17", "Max delay vs load (power law)", "max delay (s)")
+}
+
+// Fig18 reproduces Figure 18 (power-law within-deadline).
+func Fig18(sc Scale) Output {
+	return synthComparison(sc, "powerlaw", core.Deadline, withinDeadline,
+		"fig18", "Delivered within deadline vs load (power law)", "fraction within deadline")
+}
+
+// synthBufferSweep powers Figs. 19–21: fixed load, varying per-node
+// storage.
+func synthBufferSweep(sc Scale, metric core.Metric, value func(metrics.Summary) float64, id, title, ylabel string) Output {
+	p := DefaultSynthParams()
+	const load = 20 // Table 4 / §6.3.2: 20 packets per destination
+	fig := &Figure{ID: id, Title: title, XLabel: "available storage (KB)", YLabel: ylabel}
+	for _, proto := range ComparisonSet() {
+		s := SeriesData{Label: string(proto)}
+		for _, buf := range sc.Buffers {
+			buf := buf
+			y := avgSynth(p, sc, "powerlaw", load, proto, metric,
+				fmt.Sprintf("buf=%d", buf),
+				func(c *routing.Config) { c.BufferBytes = buf },
+				value)
+			s.X = append(s.X, float64(buf>>10))
+			s.Y = append(s.Y, y)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return Output{Figure: fig}
+}
+
+// Fig19 reproduces Figure 19 (power-law avg delay vs buffer).
+func Fig19(sc Scale) Output {
+	return synthBufferSweep(sc, core.AvgDelay, avgDelaySec,
+		"fig19", "Average delay vs buffer size (power law)", "avg delay (s)")
+}
+
+// Fig20 reproduces Figure 20 (power-law max delay vs buffer).
+func Fig20(sc Scale) Output {
+	return synthBufferSweep(sc, core.MaxDelay, maxDelaySec,
+		"fig20", "Max delay vs buffer size (power law)", "max delay (s)")
+}
+
+// Fig21 reproduces Figure 21 (power-law within-deadline vs buffer).
+func Fig21(sc Scale) Output {
+	return synthBufferSweep(sc, core.Deadline, withinDeadline,
+		"fig21", "Delivered within deadline vs buffer size (power law)", "fraction within deadline")
+}
+
+// Fig22 reproduces Figure 22 (exponential average delay).
+func Fig22(sc Scale) Output {
+	return synthComparison(sc, "exponential", core.AvgDelay, avgDelaySec,
+		"fig22", "Average delay vs load (exponential)", "avg delay (s)")
+}
+
+// Fig23 reproduces Figure 23 (exponential max delay).
+func Fig23(sc Scale) Output {
+	return synthComparison(sc, "exponential", core.MaxDelay, maxDelaySec,
+		"fig23", "Max delay vs load (exponential)", "max delay (s)")
+}
+
+// Fig24 reproduces Figure 24 (exponential within-deadline).
+func Fig24(sc Scale) Output {
+	return synthComparison(sc, "exponential", core.Deadline, withinDeadline,
+		"fig24", "Delivered within deadline vs load (exponential)", "fraction within deadline")
+}
+
+// sortSeries orders a series by X (Fig. 8 builds out of order).
+func sortSeries(s *SeriesData) {
+	idx := make([]int, len(s.X))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return s.X[idx[a]] < s.X[idx[b]] })
+	nx := make([]float64, len(idx))
+	ny := make([]float64, len(idx))
+	for i, j := range idx {
+		nx[i] = s.X[j]
+		ny[i] = s.Y[j]
+	}
+	s.X, s.Y = nx, ny
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

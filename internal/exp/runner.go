@@ -1,0 +1,198 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"rapid/internal/core"
+	"rapid/internal/metrics"
+	"rapid/internal/mobility"
+	"rapid/internal/packet"
+	"rapid/internal/routing"
+	"rapid/internal/trace"
+)
+
+// memo caches day-run summaries across figures: Figs. 4 and 5 read the
+// same sweep, Figs. 10–12 share arms with 4/7, and so on. Keys include
+// the scale name, so mixed-scale processes stay correct.
+var memo sync.Map
+
+func memoKey(sc Scale, day, run int, load float64, proto Proto, metric core.Metric, modKey string) string {
+	return fmt.Sprintf("%s|%d|%d|%g|%s|%d|%s", sc.Name, day, run, load, proto, metric, modKey)
+}
+
+// traceDay builds one DieselNet day schedule, shortened to the scale's
+// DayHours.
+func traceDay(p TraceParams, sc Scale, day int) *trace.Schedule {
+	cfg := p.Diesel
+	if sc.DayHours > 0 {
+		cfg.DayHours = sc.DayHours
+	}
+	return trace.NewDieselNet(cfg).Day(day)
+}
+
+// traceWorkload draws the day's Poisson workload over the day's active
+// buses ("The destinations of the packets included only buses that were
+// scheduled to be on the road", §5.1).
+func traceWorkload(p TraceParams, sc Scale, sched *trace.Schedule, load float64, seed int64, deadline bool) packet.Workload {
+	gc := packet.GenConfig{
+		Nodes:                 sched.Nodes(),
+		PacketsPerHourPerDest: load,
+		LoadWindow:            p.LoadWindow,
+		Duration:              sched.Duration,
+		PacketSize:            p.PacketBytes,
+		FirstID:               1,
+	}
+	if deadline {
+		gc.Deadline = p.DeadlineSeconds
+	}
+	return packet.Generate(gc, rand.New(rand.NewSource(seed)))
+}
+
+// runTraceDay executes one protocol over one day at one load and
+// returns the summary. The cfgMod hook lets figures tweak the runtime
+// config (metadata caps, global channel).
+func runTraceDay(p TraceParams, sc Scale, day, run int, load float64, proto Proto, metric core.Metric, cfgMod func(*routing.Config)) metrics.Summary {
+	sched := traceDay(p, sc, day)
+	seed := int64(day)*1000 + int64(run)
+	w := traceWorkload(p, sc, sched, load, seed^0x5ca1ab1e, true)
+	factory, cfg := arm(proto, metric, baseTraceConfig(p))
+	if cfgMod != nil {
+		cfgMod(&cfg)
+	}
+	col := routing.Run(routing.Scenario{
+		Schedule: sched, Workload: w, Factory: factory, Cfg: cfg, Seed: seed,
+	})
+	return col.Summarize(sched.Duration)
+}
+
+// avgTrace averages a summary-derived value over the scale's days and
+// runs. Each day is a separate experiment, as in §6.1 ("Each of the 58
+// days is a separate experiment ... packets that are not delivered by
+// the end of the day are lost"). modKey must uniquely identify cfgMod's
+// effect for memoization.
+func avgTrace(p TraceParams, sc Scale, load float64, proto Proto, metric core.Metric,
+	modKey string, cfgMod func(*routing.Config), value func(metrics.Summary) float64) float64 {
+	metric = normalizeMetric(proto, metric)
+	var sum float64
+	var n int
+	for day := 0; day < sc.Days; day++ {
+		for run := 0; run < sc.Runs; run++ {
+			key := memoKey(sc, day, run, load, proto, metric, modKey)
+			var s metrics.Summary
+			if v, ok := memo.Load(key); ok {
+				s = v.(metrics.Summary)
+			} else {
+				s = runTraceDay(p, sc, day, run, load, proto, metric, cfgMod)
+				memo.Store(key, s)
+			}
+			sum += value(s)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// synthSchedule draws a synthetic-mobility schedule.
+func synthSchedule(p SynthParams, model string, seed int64) *trace.Schedule {
+	cfg := mobility.Config{
+		Nodes:         p.Nodes,
+		Duration:      p.Duration,
+		MeanMeeting:   p.MeanMeeting,
+		TransferBytes: p.TransferBytes,
+		Jitter:        true,
+	}
+	r := rand.New(rand.NewSource(seed))
+	switch model {
+	case "powerlaw":
+		return mobility.PowerLaw{
+			Config: cfg, Alpha: p.PowerLawAlpha,
+			Ranks: mobility.RandomRanks(p.Nodes, rand.New(rand.NewSource(42))),
+		}.Schedule(r)
+	default:
+		return mobility.Exponential{Config: cfg}.Schedule(r)
+	}
+}
+
+// synthWorkload draws the synthetic workload. The load axis is packets
+// per LoadWindow per destination aggregated over sources, so the
+// per-ordered-pair rate is load/(N-1) (see DESIGN.md §7).
+func synthWorkload(p SynthParams, load float64, seed int64) packet.Workload {
+	nodes := make([]packet.NodeID, p.Nodes)
+	for i := range nodes {
+		nodes[i] = packet.NodeID(i)
+	}
+	return packet.Generate(packet.GenConfig{
+		Nodes:                 nodes,
+		PacketsPerHourPerDest: load / float64(p.Nodes-1),
+		LoadWindow:            p.LoadWindow,
+		Duration:              p.Duration,
+		PacketSize:            p.PacketBytes,
+		Deadline:              p.DeadlineSeconds,
+		FirstID:               1,
+	}, rand.New(rand.NewSource(seed)))
+}
+
+// runSynth executes one synthetic run.
+func runSynth(p SynthParams, model string, run int, load float64, proto Proto, metric core.Metric, cfgMod func(*routing.Config)) metrics.Summary {
+	seed := int64(run + 1)
+	sched := synthSchedule(p, model, seed*31)
+	w := synthWorkload(p, load, seed*77)
+	factory, cfg := arm(proto, metric, baseSynthConfig(p))
+	if cfgMod != nil {
+		cfgMod(&cfg)
+	}
+	col := routing.Run(routing.Scenario{
+		Schedule: sched, Workload: w, Factory: factory, Cfg: cfg, Seed: seed,
+	})
+	return col.Summarize(sched.Duration)
+}
+
+// normalizeMetric collapses the metric dimension for metric-agnostic
+// baselines so their runs are shared across Figs. 4/6/7 (etc.) via the
+// memo.
+func normalizeMetric(proto Proto, metric core.Metric) core.Metric {
+	switch proto {
+	case ProtoRapid, ProtoRapidLocal, ProtoRapidGlobal:
+		return metric
+	default:
+		return core.AvgDelay
+	}
+}
+
+// avgSynth averages over the scale's runs, memoized like avgTrace.
+func avgSynth(p SynthParams, sc Scale, model string, load float64, proto Proto, metric core.Metric,
+	modKey string, cfgMod func(*routing.Config), value func(metrics.Summary) float64) float64 {
+	metric = normalizeMetric(proto, metric)
+	if sc.SynthDuration > 0 {
+		p.Duration = sc.SynthDuration
+	}
+	var sum float64
+	for run := 0; run < sc.Runs; run++ {
+		key := "synth|" + model + "|" + memoKey(sc, 0, run, load, proto, metric, modKey)
+		var s metrics.Summary
+		if v, ok := memo.Load(key); ok {
+			s = v.(metrics.Summary)
+		} else {
+			s = runSynth(p, model, run, load, proto, metric, cfgMod)
+			memo.Store(key, s)
+		}
+		sum += value(s)
+	}
+	return sum / float64(sc.Runs)
+}
+
+// Summary value extractors shared by the figures.
+func avgDelayMin(s metrics.Summary) float64        { return s.AvgDelay / 60 }
+func avgDelaySec(s metrics.Summary) float64        { return s.AvgDelay }
+func maxDelayMin(s metrics.Summary) float64        { return s.MaxDelay / 60 }
+func maxDelaySec(s metrics.Summary) float64        { return s.MaxDelay }
+func deliveryRate(s metrics.Summary) float64       { return s.DeliveryRate }
+func withinDeadline(s metrics.Summary) float64     { return s.WithinDeadline }
+func avgDelayAllMin(s metrics.Summary) float64     { return s.AvgDelayAll / 60 }
+func metaOverData(s metrics.Summary) float64       { return s.MetaOverData }
+func channelUtilization(s metrics.Summary) float64 { return s.Utilization }

@@ -1,0 +1,157 @@
+package lp
+
+import (
+	"math"
+)
+
+// BnBOptions tunes the branch-and-bound search.
+type BnBOptions struct {
+	// MaxNodes caps the number of explored subproblems (<=0: default).
+	MaxNodes int
+	// IntTol is the integrality tolerance (default 1e-6).
+	IntTol float64
+}
+
+const defaultMaxNodes = 20000
+
+// SolveILP minimizes the problem with the marked Integer variables
+// driven to integrality by depth-first branch and bound over the LP
+// relaxation. The result is Optimal when the search completed, Limit
+// when the node cap stopped it with an incumbent (X then holds the best
+// integral solution found), and Infeasible when no integral point
+// exists.
+func SolveILP(p *Problem, opts BnBOptions) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	if opts.MaxNodes <= 0 {
+		opts.MaxNodes = defaultMaxNodes
+	}
+	if opts.IntTol <= 0 {
+		opts.IntTol = 1e-6
+	}
+	if p.Integer == nil {
+		return SolveLP(p)
+	}
+
+	// Working copies of bounds refined during the search. Lower bounds
+	// are encoded as extra GE constraints per node (kept in a stack).
+	upper := make([]float64, p.NumVars)
+	if p.Upper != nil {
+		copy(upper, p.Upper)
+	} else {
+		for i := range upper {
+			upper[i] = math.Inf(1)
+		}
+	}
+
+	best := Solution{Status: Infeasible, Objective: math.Inf(1)}
+	nodes := 0
+	exhausted := true
+
+	type bound struct {
+		v   int
+		lo  float64
+		hi  float64
+		set bool // true: apply, false: marker
+	}
+
+	// Depth-first via explicit recursion.
+	var search func(lower, upperB []float64)
+	search = func(lower, upperB []float64) {
+		if nodes >= opts.MaxNodes {
+			exhausted = false
+			return
+		}
+		nodes++
+		sub := &Problem{
+			NumVars:     p.NumVars,
+			Objective:   p.Objective,
+			Constraints: p.Constraints,
+			Upper:       upperB,
+		}
+		// Lower bounds ride as GE constraints (sparse, only non-zero).
+		var extra []Constraint
+		for j, lo := range lower {
+			if lo > 0 {
+				extra = append(extra, Constraint{Coeffs: map[int]float64{j: 1}, Sense: GE, RHS: lo})
+			}
+		}
+		if len(extra) > 0 {
+			sub = &Problem{
+				NumVars:     p.NumVars,
+				Objective:   p.Objective,
+				Constraints: append(append([]Constraint{}, p.Constraints...), extra...),
+				Upper:       upperB,
+			}
+		}
+		rel, err := SolveLP(sub)
+		if err != nil || rel.Status == Infeasible || rel.Status == Limit {
+			if rel.Status == Limit {
+				exhausted = false
+			}
+			return
+		}
+		if rel.Status == Unbounded {
+			// An unbounded relaxation with integer vars: treat as
+			// unbounded overall (rare in our formulations).
+			best = Solution{Status: Unbounded}
+			exhausted = true
+			return
+		}
+		// Bound: prune if the relaxation cannot beat the incumbent.
+		if best.Status == Optimal && rel.Objective >= best.Objective-1e-9 {
+			return
+		}
+		// Find the most fractional integer variable.
+		branch := -1
+		worst := opts.IntTol
+		for j := 0; j < p.NumVars; j++ {
+			if !p.Integer[j] {
+				continue
+			}
+			f := rel.X[j] - math.Floor(rel.X[j])
+			frac := math.Min(f, 1-f)
+			if frac > worst {
+				worst = frac
+				branch = j
+			}
+		}
+		if branch < 0 {
+			// Integral: new incumbent.
+			x := append([]float64(nil), rel.X...)
+			for j := 0; j < p.NumVars; j++ {
+				if p.Integer[j] {
+					x[j] = math.Round(x[j])
+				}
+			}
+			best = Solution{Status: Optimal, X: x, Objective: rel.Objective}
+			return
+		}
+		v := rel.X[branch]
+		// Down branch: x_branch <= floor(v).
+		downUpper := append([]float64(nil), upperB...)
+		if fl := math.Floor(v); fl < downUpper[branch] {
+			downUpper[branch] = fl
+		}
+		if downUpper[branch] >= 0 {
+			search(lower, downUpper)
+		}
+		// Up branch: x_branch >= ceil(v).
+		upLower := append([]float64(nil), lower...)
+		if cl := math.Ceil(v); cl > upLower[branch] {
+			upLower[branch] = cl
+		}
+		if math.IsInf(upperB[branch], 1) || upLower[branch] <= upperB[branch] {
+			search(upLower, upperB)
+		}
+	}
+
+	lower := make([]float64, p.NumVars)
+	search(lower, upper)
+
+	if best.Status == Optimal && !exhausted {
+		best.Status = Limit // incumbent, optimality not proven
+	}
+	return best, nil
+}

@@ -1,0 +1,241 @@
+// Package meet implements the inter-node meeting-time estimation of
+// §4.1.2: every node tabulates the average time between its meetings
+// with every other node, exchanges these tables through the control
+// channel, assembles them into a meeting-time adjacency matrix, and
+// estimates the expected time for any node to meet any other within at
+// most h hops (h=3 in the paper; pairs unreachable in h hops get an
+// infinite expected meeting time).
+package meet
+
+import (
+	"math"
+
+	"rapid/internal/packet"
+	"rapid/internal/stat"
+)
+
+// DefaultHops is the paper's transitive-estimation horizon
+// ("In our implementation we restrict h = 3").
+const DefaultHops = 3
+
+// Table maps a peer to the expected direct inter-meeting time in
+// seconds.
+type Table map[packet.NodeID]float64
+
+// Clone returns a copy of the table.
+func (t Table) Clone() Table {
+	c := make(Table, len(t))
+	for k, v := range t {
+		c[k] = v
+	}
+	return c
+}
+
+// Estimator is one node's view of the network's meeting behaviour. It is
+// not safe for concurrent use.
+type Estimator struct {
+	self packet.NodeID
+	hops int
+
+	// direct accumulates locally observed inter-meeting gaps per peer.
+	direct map[packet.NodeID]*stat.MovingAverage
+	// lastSeen is the time of the previous meeting per peer, to turn
+	// meeting instants into gaps. A virtual meeting at time 0 (epoch
+	// start) bootstraps the first gap, so a single observed meeting
+	// already yields a finite — if rough — estimate that later
+	// observations refine.
+	lastSeen map[packet.NodeID]float64
+
+	// tables is the merged matrix: every node's direct table as learned
+	// via the control channel. tables[self] mirrors direct.
+	tables map[packet.NodeID]Table
+
+	// version invalidates the shortest-path memo on any mutation.
+	version uint64
+	memoVer uint64
+	memo    map[packet.NodeID]Table
+}
+
+// New returns an estimator for node self using an h-hop horizon
+// (h <= 0 selects DefaultHops).
+func New(self packet.NodeID, hops int) *Estimator {
+	if hops <= 0 {
+		hops = DefaultHops
+	}
+	return &Estimator{
+		self:     self,
+		hops:     hops,
+		direct:   make(map[packet.NodeID]*stat.MovingAverage),
+		lastSeen: make(map[packet.NodeID]float64),
+		tables:   map[packet.NodeID]Table{},
+		memo:     make(map[packet.NodeID]Table),
+	}
+}
+
+// Self returns the owning node's ID.
+func (e *Estimator) Self() packet.NodeID { return e.self }
+
+// Hops returns the transitive horizon.
+func (e *Estimator) Hops() int { return e.hops }
+
+// ObserveMeeting records a meeting with peer at the given time,
+// updating the average inter-meeting gap.
+func (e *Estimator) ObserveMeeting(peer packet.NodeID, now float64) {
+	if peer == e.self {
+		return
+	}
+	ma := e.direct[peer]
+	if ma == nil {
+		ma = &stat.MovingAverage{}
+		e.direct[peer] = ma
+	}
+	ma.Observe(now - e.lastSeen[peer]) // lastSeen defaults to 0 = epoch start
+	e.lastSeen[peer] = now
+	e.syncSelfTable()
+	e.version++
+}
+
+// syncSelfTable refreshes tables[self] from the direct averages.
+func (e *Estimator) syncSelfTable() {
+	t := make(Table, len(e.direct))
+	for id, ma := range e.direct {
+		if ma.N() > 0 {
+			t[id] = ma.Value()
+		}
+	}
+	e.tables[e.self] = t
+}
+
+// DirectTable returns a snapshot of this node's own averages, the
+// payload exchanged as "expected meeting times with nodes" metadata
+// (§4.2).
+func (e *Estimator) DirectTable() Table {
+	if t, ok := e.tables[e.self]; ok {
+		return t.Clone()
+	}
+	return Table{}
+}
+
+// MergeTable installs (a copy of) owner's direct table as learned from a
+// metadata exchange, replacing any older version.
+func (e *Estimator) MergeTable(owner packet.NodeID, t Table) {
+	if owner == e.self {
+		return // own table is maintained locally
+	}
+	e.tables[owner] = t.Clone()
+	e.version++
+}
+
+// KnownTables returns the set of owners whose tables have been merged
+// (plus self if it has observed anything). Exposed for control-plane
+// delta encoding.
+func (e *Estimator) KnownTables() []packet.NodeID {
+	out := make([]packet.NodeID, 0, len(e.tables))
+	for id := range e.tables {
+		out = append(out, id)
+	}
+	return out
+}
+
+// TableOf returns the stored direct table of a node (nil if unknown).
+// The returned map must not be modified.
+func (e *Estimator) TableOf(owner packet.NodeID) Table { return e.tables[owner] }
+
+// Expected returns E(M_from,to): the expected time for node `from` to
+// meet node `to` within at most h hops, computed as the minimum over
+// paths of at most h edges of the sum of expected direct inter-meeting
+// times (the paper's example: X meets Z via Y in expected time
+// E(M_XY) + E(M_YZ)). Returns +Inf when `to` is unreachable within h
+// hops of the current matrix.
+func (e *Estimator) Expected(from, to packet.NodeID) float64 {
+	if from == to {
+		return 0
+	}
+	if e.memoVer != e.version {
+		e.memo = make(map[packet.NodeID]Table)
+		e.memoVer = e.version
+	}
+	dist, ok := e.memo[from]
+	if !ok {
+		dist = e.shortestWithin(from)
+		e.memo[from] = dist
+	}
+	if d, ok := dist[to]; ok {
+		return d
+	}
+	return math.Inf(1)
+}
+
+// edgeWeight returns the best known direct expected meeting time between
+// u and v. Meetings are symmetric but the two endpoints' tables can
+// disagree (different observation histories); the optimistic minimum is
+// used.
+func (e *Estimator) edgeWeight(u, v packet.NodeID) float64 {
+	w := math.Inf(1)
+	if t, ok := e.tables[u]; ok {
+		if d, ok := t[v]; ok && d < w {
+			w = d
+		}
+	}
+	if t, ok := e.tables[v]; ok {
+		if d, ok := t[u]; ok && d < w {
+			w = d
+		}
+	}
+	return w
+}
+
+// shortestWithin runs h rounds of Bellman-Ford relaxation from src over
+// the merged matrix, yielding min-cost paths with at most h edges.
+func (e *Estimator) shortestWithin(src packet.NodeID) Table {
+	// Collect the node universe: table owners and their targets.
+	universe := map[packet.NodeID]bool{src: true}
+	for owner, t := range e.tables {
+		universe[owner] = true
+		for id := range t {
+			universe[id] = true
+		}
+	}
+	dist := Table{src: 0}
+	for hop := 0; hop < e.hops; hop++ {
+		next := dist.Clone()
+		improved := false
+		for u, du := range dist {
+			if math.IsInf(du, 1) {
+				continue
+			}
+			for v := range universe {
+				if v == u {
+					continue
+				}
+				w := e.edgeWeight(u, v)
+				if math.IsInf(w, 1) {
+					continue
+				}
+				if dv, ok := next[v]; !ok || du+w < dv {
+					next[v] = du + w
+					improved = true
+				}
+			}
+		}
+		dist = next
+		if !improved {
+			break
+		}
+	}
+	delete(dist, src)
+	return dist
+}
+
+// Rate returns the meeting rate lambda = 1/E(M_from,to), or 0 when the
+// pair is unreachable — the form used directly in Eq. 9.
+func (e *Estimator) Rate(from, to packet.NodeID) float64 {
+	d := e.Expected(from, to)
+	if math.IsInf(d, 1) || d <= 0 {
+		if d == 0 {
+			return math.Inf(1)
+		}
+		return 0
+	}
+	return 1 / d
+}

@@ -1,0 +1,229 @@
+package meet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rapid/internal/packet"
+)
+
+func TestObserveMeetingBuildsAverages(t *testing.T) {
+	e := New(0, 3)
+	e.ObserveMeeting(1, 100) // gap 100 from virtual epoch meeting
+	e.ObserveMeeting(1, 300) // gap 200
+	tbl := e.DirectTable()
+	if got := tbl[1]; got != 150 {
+		t.Errorf("avg gap %v want 150", got)
+	}
+	if got := e.Expected(0, 1); got != 150 {
+		t.Errorf("Expected(0,1)=%v want 150", got)
+	}
+	// Self-meetings are ignored; self expected time is 0.
+	e.ObserveMeeting(0, 400)
+	if got := e.Expected(0, 0); got != 0 {
+		t.Errorf("Expected(0,0)=%v want 0", got)
+	}
+}
+
+func TestExpectedUnknownIsInf(t *testing.T) {
+	e := New(0, 3)
+	if got := e.Expected(0, 9); !math.IsInf(got, 1) {
+		t.Errorf("unknown peer: %v want +Inf", got)
+	}
+	if got := e.Rate(0, 9); got != 0 {
+		t.Errorf("unknown rate %v want 0", got)
+	}
+}
+
+func TestTransitiveEstimateTwoHops(t *testing.T) {
+	// X(0) meets Y(1) every 100 s; Y meets Z(2) every 50 s. X never
+	// meets Z directly: the 2-hop estimate is 150 s (paper's example).
+	e := New(0, 3)
+	e.ObserveMeeting(1, 100)
+	e.ObserveMeeting(1, 200) // avg 100
+	e.MergeTable(1, Table{2: 50})
+	if got := e.Expected(0, 2); got != 150 {
+		t.Errorf("two-hop expected %v want 150", got)
+	}
+	// Rate is the reciprocal.
+	if got := e.Rate(0, 2); !almostEq(got, 1.0/150, 1e-12) {
+		t.Errorf("rate %v", got)
+	}
+}
+
+func TestHopBoundRestrictsPaths(t *testing.T) {
+	// Chain 0-1-2-3-4 each hop 10 s. With h=3, node 4 is unreachable
+	// from 0 (needs 4 hops); with h=4 it is 40 s.
+	build := func(h int) *Estimator {
+		e := New(0, h)
+		e.ObserveMeeting(1, 10)
+		e.MergeTable(1, Table{0: 10, 2: 10})
+		e.MergeTable(2, Table{1: 10, 3: 10})
+		e.MergeTable(3, Table{2: 10, 4: 10})
+		return e
+	}
+	e3 := build(3)
+	if got := e3.Expected(0, 3); got != 30 {
+		t.Errorf("3-hop distance %v want 30", got)
+	}
+	if got := e3.Expected(0, 4); !math.IsInf(got, 1) {
+		t.Errorf("4-hop target with h=3: %v want +Inf", got)
+	}
+	e4 := build(4)
+	if got := e4.Expected(0, 4); got != 40 {
+		t.Errorf("4-hop distance with h=4: %v want 40", got)
+	}
+}
+
+func TestDirectBeatsLongerPath(t *testing.T) {
+	e := New(0, 3)
+	e.ObserveMeeting(1, 10)  // 0-1 avg 10
+	e.ObserveMeeting(2, 100) // 0-2 avg 100
+	e.MergeTable(1, Table{2: 5})
+	// Path 0-1-2 costs 15 < direct 100.
+	if got := e.Expected(0, 2); got != 15 {
+		t.Errorf("min path %v want 15", got)
+	}
+}
+
+func TestExpectedForThirdParties(t *testing.T) {
+	// RAPID needs E(M_XjZ) for other replica holders Xj, computed from
+	// the merged matrix.
+	e := New(0, 3)
+	e.MergeTable(5, Table{7: 42})
+	if got := e.Expected(5, 7); got != 42 {
+		t.Errorf("third-party expected %v want 42", got)
+	}
+	if got := e.Expected(7, 5); got != 42 {
+		t.Errorf("symmetric lookup %v want 42", got)
+	}
+}
+
+func TestEdgeWeightTakesOptimisticMin(t *testing.T) {
+	e := New(0, 3)
+	e.ObserveMeeting(1, 80) // our view: 80
+	e.MergeTable(1, Table{0: 60})
+	if got := e.Expected(0, 1); got != 60 {
+		t.Errorf("edge weight %v want min(80,60)=60", got)
+	}
+}
+
+func TestMergeTableCopiesAndSelfIgnored(t *testing.T) {
+	e := New(0, 3)
+	src := Table{2: 10}
+	e.MergeTable(1, src)
+	src[2] = 999 // mutate caller's map
+	if got := e.Expected(1, 2); got != 10 {
+		t.Errorf("MergeTable must copy: %v", got)
+	}
+	e.ObserveMeeting(1, 50)
+	e.MergeTable(0, Table{1: 1}) // attempts to overwrite own table
+	if got := e.Expected(0, 1); got != 50 {
+		t.Errorf("own table overwritten by merge: %v", got)
+	}
+}
+
+func TestMemoInvalidation(t *testing.T) {
+	e := New(0, 3)
+	e.ObserveMeeting(1, 100)
+	if got := e.Expected(0, 1); got != 100 {
+		t.Fatalf("first estimate %v", got)
+	}
+	e.ObserveMeeting(1, 200) // avg now 100, (100+100)/2
+	if got := e.Expected(0, 1); got != 100 {
+		t.Fatalf("second estimate %v", got)
+	}
+	e.ObserveMeeting(1, 800) // gaps 100,100,600 -> avg 266.67
+	want := (100.0 + 100.0 + 600.0) / 3.0
+	if got := e.Expected(0, 1); !almostEq(got, want, 1e-9) {
+		t.Errorf("post-update estimate %v want %v", got, want)
+	}
+}
+
+// Property: the estimator's h-hop expected meeting time matches a
+// brute-force shortest-path-with-hop-bound computation on random
+// matrices.
+func TestExpectedIsShortestPathProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 5 + r.Intn(5)
+		return propCheck(r, n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func propCheck(r *rand.Rand, n int) bool {
+	e := New(0, 3)
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, n)
+		for j := range w[i] {
+			w[i][j] = math.Inf(1)
+		}
+	}
+	for i := 0; i < n; i++ {
+		t := Table{}
+		for j := 0; j < n; j++ {
+			if i != j && r.Float64() < 0.5 {
+				d := 1 + r.Float64()*100
+				t[packet.NodeID(j)] = d
+				if d < w[i][j] {
+					w[i][j] = d
+					w[j][i] = d
+				}
+			}
+		}
+		if i == 0 {
+			for id, d := range t {
+				// Feed as direct observations: one gap of d.
+				e.ObserveMeeting(id, d)
+			}
+		} else {
+			e.MergeTable(packet.NodeID(i), t)
+		}
+	}
+	// Brute force: min cost over paths with <= 3 edges.
+	for dst := 1; dst < n; dst++ {
+		want := bruteShortest(w, 0, dst, 3)
+		got := e.Expected(0, packet.NodeID(dst))
+		if math.IsInf(want, 1) != math.IsInf(got, 1) {
+			return false
+		}
+		if !math.IsInf(want, 1) && !almostEq(got, want, 1e-9) {
+			return false
+		}
+	}
+	return true
+}
+
+func bruteShortest(w [][]float64, src, dst, hops int) float64 {
+	n := len(w)
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	for h := 0; h < hops; h++ {
+		next := append([]float64(nil), dist...)
+		for u := 0; u < n; u++ {
+			if math.IsInf(dist[u], 1) {
+				continue
+			}
+			for v := 0; v < n; v++ {
+				if u != v && dist[u]+w[u][v] < next[v] {
+					next[v] = dist[u] + w[u][v]
+				}
+			}
+		}
+		dist = next
+	}
+	return dist[dst]
+}
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}

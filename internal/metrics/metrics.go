@@ -1,0 +1,249 @@
+// Package metrics collects per-packet delivery records and channel
+// accounting during a simulation run and reduces them to the quantities
+// the paper's evaluation reports: average delay, maximum delay, delivery
+// rate, fraction delivered within deadline, average delay including
+// undelivered packets (Fig. 13), per source-destination pair delays for
+// the paired t-test (§6.2.1), per-cohort Jain fairness (Fig. 15), and
+// metadata/bandwidth ratios (Table 3, Fig. 9).
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"rapid/internal/packet"
+	"rapid/internal/stat"
+)
+
+// Record tracks one packet's fate.
+type Record struct {
+	P           *packet.Packet
+	Delivered   bool
+	DeliveredAt float64
+	Hops        int // path length of the first delivered copy
+}
+
+// PairKey identifies a source-destination flow.
+type PairKey struct {
+	Src, Dst packet.NodeID
+}
+
+// Collector accumulates simulation outcomes. The zero value is unusable;
+// construct with New. Not safe for concurrent use.
+type Collector struct {
+	byID  map[packet.ID]*Record
+	order []*Record // insertion order for deterministic iteration
+
+	// Channel accounting.
+	Meetings         int
+	OpportunityBytes int64 // total contact capacity offered
+	DataBytes        int64 // payload bytes transferred (incl. duplicates)
+	MetaBytes        int64 // control-channel bytes
+	Replications     int   // replica transfers
+	DirectDeliveries int
+}
+
+// New returns an empty collector.
+func New() *Collector {
+	return &Collector{byID: make(map[packet.ID]*Record)}
+}
+
+// Generated registers a packet's creation. Duplicate registration is a
+// programming error and panics (the workload is injected exactly once).
+func (c *Collector) Generated(p *packet.Packet) {
+	if _, ok := c.byID[p.ID]; ok {
+		panic("metrics: packet generated twice")
+	}
+	r := &Record{P: p}
+	c.byID[p.ID] = r
+	c.order = append(c.order, r)
+}
+
+// Delivered records the first delivery of a packet; later duplicate
+// deliveries of other replicas are ignored. Unknown packets are ignored
+// (defensive: a router must not invent traffic).
+func (c *Collector) Delivered(id packet.ID, now float64, hops int) {
+	r := c.byID[id]
+	if r == nil || r.Delivered {
+		return
+	}
+	r.Delivered = true
+	r.DeliveredAt = now
+	r.Hops = hops
+}
+
+// IsDelivered reports whether the packet has reached its destination.
+func (c *Collector) IsDelivered(id packet.ID) bool {
+	r := c.byID[id]
+	return r != nil && r.Delivered
+}
+
+// Records returns all records in generation order. Callers must not
+// modify the slice.
+func (c *Collector) Records() []*Record { return c.order }
+
+// Summary is the reduced view of a run.
+type Summary struct {
+	Generated int
+	Delivered int
+	// DeliveryRate is Delivered/Generated.
+	DeliveryRate float64
+	// AvgDelay is the mean delay of delivered packets (the paper's
+	// "average delay of delivered packets", Figs. 4, 16, 22).
+	AvgDelay float64
+	// AvgDelayAll counts undelivered packets at their time-in-system up
+	// to the horizon, the Fig. 13 convention ("the delay of undelivered
+	// packets is set to time the packet spent in the system").
+	AvgDelayAll float64
+	// MaxDelay is the maximum delay over delivered packets (Figs. 6,
+	// 17, 23 report delays of delivered traffic).
+	MaxDelay float64
+	// MaxDelayAll additionally counts undelivered packets at their time
+	// in system, so a protocol cannot escape the metric by never
+	// serving the oldest packet.
+	MaxDelayAll float64
+	// WithinDeadline is the fraction of generated packets delivered
+	// before their deadline (packets without deadlines are excluded
+	// from the denominator).
+	WithinDeadline float64
+
+	Meetings         int
+	OpportunityBytes int64
+	DataBytes        int64
+	MetaBytes        int64
+	// Utilization is (data+meta)/opportunity (Fig. 9's "% channel
+	// utilization").
+	Utilization float64
+	// MetaOverData and MetaOverBandwidth are Table 3's two overhead
+	// ratios.
+	MetaOverData      float64
+	MetaOverBandwidth float64
+}
+
+// Summarize reduces the collector at the given horizon (the end of the
+// experiment; undelivered packets have spent horizon−created in the
+// system).
+func (c *Collector) Summarize(horizon float64) Summary {
+	s := Summary{
+		Generated:        len(c.order),
+		Meetings:         c.Meetings,
+		OpportunityBytes: c.OpportunityBytes,
+		DataBytes:        c.DataBytes,
+		MetaBytes:        c.MetaBytes,
+	}
+	var delaySum, delayAllSum float64
+	var deadlineTotal, deadlineHit int
+	for _, r := range c.order {
+		var d float64
+		if r.Delivered {
+			s.Delivered++
+			d = r.DeliveredAt - r.P.Created
+			delaySum += d
+			if d > s.MaxDelay {
+				s.MaxDelay = d
+			}
+		} else {
+			d = horizon - r.P.Created
+			if d < 0 {
+				d = 0
+			}
+		}
+		delayAllSum += d
+		if d > s.MaxDelayAll {
+			s.MaxDelayAll = d
+		}
+		if r.P.Deadline > 0 {
+			deadlineTotal++
+			if r.Delivered && r.DeliveredAt <= r.P.Deadline {
+				deadlineHit++
+			}
+		}
+	}
+	if s.Delivered > 0 {
+		s.AvgDelay = delaySum / float64(s.Delivered)
+	}
+	if s.Generated > 0 {
+		s.DeliveryRate = float64(s.Delivered) / float64(s.Generated)
+		s.AvgDelayAll = delayAllSum / float64(s.Generated)
+	}
+	if deadlineTotal > 0 {
+		s.WithinDeadline = float64(deadlineHit) / float64(deadlineTotal)
+	}
+	if s.OpportunityBytes > 0 {
+		s.Utilization = float64(s.DataBytes+s.MetaBytes) / float64(s.OpportunityBytes)
+		s.MetaOverBandwidth = float64(s.MetaBytes) / float64(s.OpportunityBytes)
+	}
+	if s.DataBytes > 0 {
+		s.MetaOverData = float64(s.MetaBytes) / float64(s.DataBytes)
+	}
+	return s
+}
+
+// PairDelays returns the average delivered-packet delay per
+// source-destination pair, the input to the paired t-test of §6.2.1.
+// Pairs with no delivered packets are omitted.
+func (c *Collector) PairDelays() map[PairKey]float64 {
+	acc := map[PairKey]*stat.Welford{}
+	for _, r := range c.order {
+		if !r.Delivered {
+			continue
+		}
+		k := PairKey{r.P.Src, r.P.Dst}
+		w := acc[k]
+		if w == nil {
+			w = &stat.Welford{}
+			acc[k] = w
+		}
+		w.Add(r.DeliveredAt - r.P.Created)
+	}
+	out := make(map[PairKey]float64, len(acc))
+	for k, w := range acc {
+		out[k] = w.Mean()
+	}
+	return out
+}
+
+// CohortFairness computes Jain's fairness index per parallel-packet
+// cohort (Fig. 15). Undelivered packets contribute their time in system
+// at the horizon. Cohort 0 (untagged packets) is skipped. The result is
+// sorted ascending, ready for a CDF.
+func (c *Collector) CohortFairness(horizon float64) []float64 {
+	groups := map[int][]float64{}
+	for _, r := range c.order {
+		if r.P.Cohort == 0 {
+			continue
+		}
+		d := horizon - r.P.Created
+		if r.Delivered {
+			d = r.DeliveredAt - r.P.Created
+		}
+		groups[r.P.Cohort] = append(groups[r.P.Cohort], d)
+	}
+	out := make([]float64, 0, len(groups))
+	for _, delays := range groups {
+		if j := stat.JainIndex(delays); !math.IsNaN(j) {
+			out = append(out, j)
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// Merge folds another collector's channel accounting and records into c
+// (used to aggregate multi-day trace experiments). Packet IDs must be
+// disjoint.
+func (c *Collector) Merge(o *Collector) {
+	for _, r := range o.order {
+		if _, ok := c.byID[r.P.ID]; ok {
+			panic("metrics: merging collectors with overlapping packet IDs")
+		}
+		c.byID[r.P.ID] = r
+		c.order = append(c.order, r)
+	}
+	c.Meetings += o.Meetings
+	c.OpportunityBytes += o.OpportunityBytes
+	c.DataBytes += o.DataBytes
+	c.MetaBytes += o.MetaBytes
+	c.Replications += o.Replications
+	c.DirectDeliveries += o.DirectDeliveries
+}

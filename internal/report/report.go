@@ -1,0 +1,231 @@
+// Package report renders experiment output: aligned ASCII tables,
+// gnuplot-compatible .dat series files, and quick ASCII line plots so
+// every figure of the paper can be inspected without leaving the
+// terminal.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one labeled curve: parallel X/Y slices (e.g. load on X,
+// average delay on Y for one protocol).
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Figure is a set of curves plus axis metadata, mirroring one figure of
+// the paper.
+type Figure struct {
+	ID     string // e.g. "fig4"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// WriteDat emits the figure as a whitespace-separated table:
+// first column X, one column per series, '#' header lines. Series may
+// have different X grids; missing values print as "-".
+func (f *Figure) WriteDat(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s: %s\n# x=%s y=%s\n", f.ID, f.Title, f.XLabel, f.YLabel); err != nil {
+		return err
+	}
+	cols := make([]string, 0, len(f.Series)+1)
+	cols = append(cols, "x")
+	for _, s := range f.Series {
+		cols = append(cols, strings.ReplaceAll(s.Label, " ", "_"))
+	}
+	if _, err := fmt.Fprintf(w, "# %s\n", strings.Join(cols, "\t")); err != nil {
+		return err
+	}
+	// Union of X values.
+	xsSet := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			xsSet[x] = true
+		}
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	for _, x := range xs {
+		row := []string{trimFloat(x)}
+		for _, s := range f.Series {
+			v, ok := s.at(x)
+			if !ok {
+				row = append(row, "-")
+			} else {
+				row = append(row, trimFloat(v))
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, "\t")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// at finds the Y value at an exact X grid point.
+func (s *Series) at(x float64) (float64, bool) {
+	for i, sx := range s.X {
+		if sx == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// plot glyph per series, cycled.
+var glyphs = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// RenderASCII draws the figure as a width×height ASCII plot with a
+// legend — enough to eyeball the shape claims (who wins, where the
+// curves cross) straight from a terminal.
+func (f *Figure) RenderASCII(width, height int) string {
+	if width < 20 {
+		width = 60
+	}
+	if height < 5 {
+		height = 18
+	}
+	var xmin, xmax, ymin, ymax float64
+	first := true
+	for _, s := range f.Series {
+		for i := range s.X {
+			if math.IsNaN(s.Y[i]) || math.IsInf(s.Y[i], 0) {
+				continue
+			}
+			if first {
+				xmin, xmax, ymin, ymax = s.X[i], s.X[i], s.Y[i], s.Y[i]
+				first = false
+				continue
+			}
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if first {
+		return fmt.Sprintf("%s — %s (no data)\n", f.ID, f.Title)
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range f.Series {
+		g := glyphs[si%len(glyphs)]
+		for i := range s.X {
+			if math.IsNaN(s.Y[i]) || math.IsInf(s.Y[i], 0) {
+				continue
+			}
+			c := int((s.X[i] - xmin) / (xmax - xmin) * float64(width-1))
+			r := height - 1 - int((s.Y[i]-ymin)/(ymax-ymin)*float64(height-1))
+			if r >= 0 && r < height && c >= 0 && c < width {
+				grid[r][c] = g
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "%s (y: %.4g .. %.4g)\n", f.YLabel, ymin, ymax)
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteString("\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&b, " %s (x: %.4g .. %.4g)\n", f.XLabel, xmin, xmax)
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "  %c %s\n", glyphs[si%len(glyphs)], s.Label)
+	}
+	return b.String()
+}
+
+// Table is a simple aligned text table.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render aligns columns with at least two spaces of separation.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(widths) {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// F formats a float compactly for table cells.
+func F(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "nan"
+	case math.IsInf(v, 0):
+		return "inf"
+	case math.Abs(v) >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// Pct formats a fraction as a percentage cell.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }

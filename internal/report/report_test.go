@@ -1,0 +1,110 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleFigure() *Figure {
+	return &Figure{
+		ID: "fig4", Title: "Average delay vs load",
+		XLabel: "load", YLabel: "delay (min)",
+		Series: []Series{
+			{Label: "rapid", X: []float64{1, 2, 3}, Y: []float64{10, 20, 30}},
+			{Label: "max prop", X: []float64{1, 2, 4}, Y: []float64{15, 25, 45}},
+		},
+	}
+}
+
+func TestWriteDat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleFigure().WriteDat(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# fig4: Average delay vs load") {
+		t.Error("missing header")
+	}
+	if !strings.Contains(out, "max_prop") {
+		t.Error("labels must be underscore-joined")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// 3 header lines + union of x grid {1,2,3,4}.
+	if len(lines) != 3+4 {
+		t.Fatalf("lines %d: %q", len(lines), out)
+	}
+	// x=3 row: rapid has 30, maxprop missing.
+	found := false
+	for _, l := range lines {
+		if strings.HasPrefix(l, "3\t") {
+			found = true
+			if !strings.Contains(l, "30") || !strings.Contains(l, "-") {
+				t.Errorf("row %q", l)
+			}
+		}
+	}
+	if !found {
+		t.Error("x=3 row missing")
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	out := sampleFigure().RenderASCII(40, 10)
+	if !strings.Contains(out, "fig4") || !strings.Contains(out, "rapid") {
+		t.Errorf("plot output missing metadata:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Errorf("plot glyphs missing:\n%s", out)
+	}
+	// Degenerate sizes fall back to defaults.
+	small := sampleFigure().RenderASCII(1, 1)
+	if len(small) == 0 {
+		t.Error("degenerate size produced nothing")
+	}
+	empty := (&Figure{ID: "e", Title: "none"}).RenderASCII(40, 10)
+	if !strings.Contains(empty, "no data") {
+		t.Error("empty figure must say so")
+	}
+	// NaN/Inf points are skipped, not plotted.
+	weird := &Figure{ID: "w", Series: []Series{{
+		Label: "w", X: []float64{1, 2}, Y: []float64{math.NaN(), math.Inf(1)},
+	}}}
+	if out := weird.RenderASCII(40, 10); !strings.Contains(out, "no data") {
+		t.Error("all-invalid series must render as no data")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{Header: []string{"metric", "paper", "ours"}}
+	tb.AddRow("delivered", "88%", Pct(0.873))
+	tb.AddRow("delay", "91.7", F(93.12))
+	out := tb.Render()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "metric") || !strings.Contains(lines[1], "---") {
+		t.Errorf("header/separator malformed:\n%s", out)
+	}
+	if !strings.Contains(out, "87.3%") || !strings.Contains(out, "93.1") {
+		t.Errorf("cell formatting:\n%s", out)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	cases := map[float64]string{
+		1234.6: "1235",
+		42.25:  "42.2",
+		1.5:    "1.500",
+	}
+	for v, want := range cases {
+		if got := F(v); got != want {
+			t.Errorf("F(%v)=%q want %q", v, got, want)
+		}
+	}
+	if F(math.NaN()) != "nan" || F(math.Inf(1)) != "inf" {
+		t.Error("special values")
+	}
+}

@@ -1,0 +1,141 @@
+package maxprop
+
+import (
+	"math"
+	"testing"
+
+	"rapid/internal/buffer"
+	"rapid/internal/packet"
+	"rapid/internal/routing"
+	"rapid/internal/sim"
+	"rapid/internal/trace"
+)
+
+func newPair(t *testing.T) (*routing.Network, *routing.Node, *routing.Node) {
+	t.Helper()
+	net := routing.NewNetwork(sim.New(1), []packet.NodeID{0, 1, 2, 3},
+		New(), routing.Config{Mode: routing.ControlInBand, AcksOnly: true, MetaFraction: -1})
+	net.Horizon = 1000
+	return net, net.Node(0), net.Node(1)
+}
+
+func TestMeetingProbabilitiesNormalize(t *testing.T) {
+	_, n0, n1 := newPair(t)
+	r0 := n0.Router.(*Router)
+	r0.GossipWith(n1.Router, 10)
+	r0.GossipWith(n1.Router, 20)
+	vec := r0.probs[0]
+	var sum float64
+	for _, v := range vec {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("vector sum %v want 1", sum)
+	}
+	if vec[1] != 1 {
+		t.Errorf("only ever met node 1: p=%v want 1", vec[1])
+	}
+}
+
+func TestMeetingProbabilitiesRecencyWeighted(t *testing.T) {
+	// MaxProp's incremental averaging weights recent meetings heavily:
+	// after meeting 2 once, the estimate for 1 and 2 evens out; another
+	// meeting with 1 restores its dominance.
+	net, n0, n1 := newPair(t)
+	n2 := net.Node(2)
+	r0 := n0.Router.(*Router)
+	r0.GossipWith(n1.Router, 1)
+	r0.GossipWith(n1.Router, 2)
+	r0.GossipWith(n1.Router, 3)
+	r0.GossipWith(n2.Router, 4)
+	vec := r0.probs[0]
+	if vec[1] != vec[2] {
+		t.Errorf("bump-and-normalize should even out after one meeting: %v", vec)
+	}
+	r0.GossipWith(n1.Router, 5)
+	vec = r0.probs[0]
+	if vec[1] <= vec[2] {
+		t.Errorf("recent meeting must dominate: %v", vec)
+	}
+}
+
+func TestPathCostThroughRelay(t *testing.T) {
+	net, n0, n1 := newPair(t)
+	n3 := net.Node(3)
+	r0 := n0.Router.(*Router)
+	r1 := n1.Router.(*Router)
+	// 1 meets 3 often; 0 meets 1. After gossip, 0 should see a finite
+	// path cost to 3 via 1.
+	r1.GossipWith(n3.Router, 1)
+	r0.GossipWith(n1.Router, 2) // receives r1's vector
+	cost := r0.PathCost(3)
+	if math.IsInf(cost, 1) {
+		t.Fatal("no path to 3 despite gossip")
+	}
+	if c0 := r0.PathCost(0); c0 != 0 {
+		t.Errorf("self cost %v want 0", c0)
+	}
+	if c := r0.PathCost(99); !math.IsInf(c, 1) {
+		t.Errorf("unknown node cost %v want +Inf", c)
+	}
+}
+
+func TestPlanReplicationHeadOfLineFirst(t *testing.T) {
+	net, n0, n1 := newPair(t)
+	_ = net
+	mk := func(id packet.ID, hops int) *buffer.Entry {
+		return &buffer.Entry{P: &packet.Packet{ID: id, Dst: 3, Size: 10}, Hops: hops}
+	}
+	n0.Store.Insert(mk(1, 5), nil) // past threshold: by cost
+	n0.Store.Insert(mk(2, 0), nil) // head-of-line
+	n0.Store.Insert(mk(3, 2), nil) // head-of-line, more hops
+	plan := n0.Router.PlanReplication(n1, 10)
+	if len(plan) != 3 {
+		t.Fatalf("plan %v", plan)
+	}
+	if plan[0].P.ID != 2 || plan[1].P.ID != 3 || plan[2].P.ID != 1 {
+		t.Errorf("order %v,%v,%v want 2,3,1", plan[0].P.ID, plan[1].P.ID, plan[2].P.ID)
+	}
+}
+
+func TestEndToEndMaxProp(t *testing.T) {
+	sched := &trace.Schedule{Duration: 200, Meetings: []trace.Meeting{
+		{A: 0, B: 1, Time: 10, Bytes: 1 << 16},
+		{A: 1, B: 2, Time: 50, Bytes: 1 << 16},
+		{A: 0, B: 2, Time: 90, Bytes: 1 << 16},
+	}}
+	w := packet.Workload{
+		{ID: 1, Src: 0, Dst: 2, Size: 1024, Created: 0},
+		{ID: 2, Src: 1, Dst: 0, Size: 1024, Created: 5},
+	}
+	c := routing.Run(routing.Scenario{
+		Schedule: sched, Workload: w, Factory: New(),
+		Cfg:  routing.Config{Mode: routing.ControlInBand, AcksOnly: true, MetaFraction: -1},
+		Seed: 1,
+	})
+	s := c.Summarize(200)
+	if s.Delivered != 2 {
+		t.Errorf("delivered %d want 2", s.Delivered)
+	}
+}
+
+func TestEvictionKeepsHeadOfLine(t *testing.T) {
+	net := routing.NewNetwork(sim.New(1), []packet.NodeID{0, 1},
+		New(), routing.Config{BufferBytes: 30, Mode: routing.ControlInBand, AcksOnly: true})
+	n0 := net.Node(0)
+	r := n0.Router.(*Router)
+	young := &buffer.Entry{P: &packet.Packet{ID: 1, Dst: 1, Size: 10}, Hops: 0}
+	old := &buffer.Entry{P: &packet.Packet{ID: 2, Dst: 1, Size: 10}, Hops: 7}
+	old2 := &buffer.Entry{P: &packet.Packet{ID: 3, Dst: 1, Size: 10}, Hops: 9}
+	if !r.Accept(young, 1, 0) || !r.Accept(old, 1, 0) || !r.Accept(old2, 1, 0) {
+		t.Fatal("inserts failed")
+	}
+	// Buffer full; a new head-of-line packet must evict a high-hop one.
+	fresh := &buffer.Entry{P: &packet.Packet{ID: 4, Dst: 1, Size: 10}, Hops: 1}
+	if !r.Accept(fresh, 1, 0) {
+		t.Fatal("accept failed under pressure")
+	}
+	if !n0.Store.Has(1) || !n0.Store.Has(4) {
+		t.Error("head-of-line packets evicted before high-hop packets")
+	}
+}

@@ -1,0 +1,296 @@
+// Package optimal computes the offline Optimal baseline of §6.2.4: a
+// routing schedule with complete a-priori knowledge of node meetings
+// and the packet workload, providing an upper bound on the performance
+// of any online protocol (Fig. 13).
+//
+// Two solvers are provided:
+//
+//   - Solve: an earliest-arrival oracle that routes each packet along
+//     its earliest-delivery time-respecting path, reserving per-meeting
+//     capacity, followed by local-search improvement passes. It scales
+//     to full experiment instances.
+//
+//   - SolveILP: the Appendix-D integer linear program (single-copy
+//     forwarding over discretized meetings), solved exactly with
+//     internal/lp. Like the paper's CPLEX runs it only handles small
+//     instances; tests use it to certify the oracle's optimality gap.
+//
+// Both solvers are single-copy: with complete future knowledge,
+// replication cannot improve delivery of a packet beyond its best path,
+// it can only consume capacity other packets need — which is why the
+// paper's ILP also carries a single-copy conservation constraint.
+package optimal
+
+import (
+	"math"
+	"sort"
+
+	"rapid/internal/packet"
+	"rapid/internal/trace"
+)
+
+// Delivery describes one packet's offline-routing outcome.
+type Delivery struct {
+	P           *packet.Packet
+	Delivered   bool
+	DeliveredAt float64
+	Hops        int
+}
+
+// Result is the offline schedule's outcome for a workload.
+type Result struct {
+	Deliveries []Delivery
+	// Horizon is the schedule duration used for undelivered penalties.
+	Horizon float64
+}
+
+// AvgDelayAll returns the Fig. 13 objective: mean delay with
+// undelivered packets counted at their time in system.
+func (r *Result) AvgDelayAll() float64 {
+	if len(r.Deliveries) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, d := range r.Deliveries {
+		if d.Delivered {
+			sum += d.DeliveredAt - d.P.Created
+		} else {
+			sum += r.Horizon - d.P.Created
+		}
+	}
+	return sum / float64(len(r.Deliveries))
+}
+
+// DeliveryRate returns the fraction delivered.
+func (r *Result) DeliveryRate() float64 {
+	if len(r.Deliveries) == 0 {
+		return 0
+	}
+	n := 0
+	for _, d := range r.Deliveries {
+		if d.Delivered {
+			n++
+		}
+	}
+	return float64(n) / float64(len(r.Deliveries))
+}
+
+// Options tunes the oracle.
+type Options struct {
+	// ImprovePasses is the number of local-search sweeps after the
+	// greedy construction (default 2).
+	ImprovePasses int
+}
+
+// Solve runs the earliest-arrival oracle.
+func Solve(sched *trace.Schedule, w packet.Workload, opts Options) *Result {
+	if opts.ImprovePasses < 0 {
+		opts.ImprovePasses = 0
+	} else if opts.ImprovePasses == 0 {
+		opts.ImprovePasses = 2
+	}
+	meetings := append([]trace.Meeting(nil), sched.Meetings...)
+	sort.SliceStable(meetings, func(i, j int) bool { return meetings[i].Time < meetings[j].Time })
+	residual := make([]int64, len(meetings))
+	for i, m := range meetings {
+		residual[i] = m.Bytes
+	}
+
+	// paths[i] holds the meeting indices used by packet i.
+	ordered := append(packet.Workload{}, w...)
+	ordered.Sort()
+	paths := make([][]int, len(ordered))
+	arrivals := make([]float64, len(ordered))
+	for i := range arrivals {
+		arrivals[i] = math.Inf(1)
+	}
+
+	route := func(i int) {
+		p := ordered[i]
+		path, at := earliestPath(meetings, residual, p)
+		if path != nil {
+			for _, mi := range path {
+				residual[mi] -= p.Size
+			}
+			paths[i] = path
+			arrivals[i] = at
+		} else {
+			paths[i] = nil
+			arrivals[i] = math.Inf(1)
+		}
+	}
+	release := func(i int) {
+		for _, mi := range paths[i] {
+			residual[mi] += ordered[i].Size
+		}
+		paths[i] = nil
+		arrivals[i] = math.Inf(1)
+	}
+
+	// Greedy construction in creation order.
+	for i := range ordered {
+		route(i)
+	}
+	// contribution is a packet's term in the Fig. 13 objective.
+	contribution := func(i int) float64 {
+		if math.IsInf(arrivals[i], 1) {
+			return sched.Duration - ordered[i].Created
+		}
+		return arrivals[i] - ordered[i].Created
+	}
+	restore := func(i int, path []int, at float64) {
+		paths[i] = path
+		arrivals[i] = at
+		for _, mi := range path {
+			residual[mi] -= ordered[i].Size
+		}
+	}
+
+	for pass := 0; pass < opts.ImprovePasses; pass++ {
+		improvedAny := false
+		// Sweep 1: re-route each packet with everyone else's
+		// reservations fixed; each step can only lower the packet's
+		// own arrival, so the total objective is non-increasing.
+		for i := range ordered {
+			old := arrivals[i]
+			oldPath := paths[i]
+			release(i)
+			route(i)
+			if arrivals[i] > old || (math.IsInf(arrivals[i], 1) && !math.IsInf(old, 1)) {
+				release(i)
+				restore(i, oldPath, old)
+			} else if arrivals[i] < old {
+				improvedAny = true
+			}
+		}
+		// Sweep 2: pairwise eviction. A packet routed worse than its
+		// capacity-ignoring ideal identifies the reservations blocking
+		// that ideal path; evicting one blocker and routing the victim
+		// first may lower the combined objective (the case greedy
+		// construction cannot fix: an early packet camping on a later
+		// packet's only path).
+		fullCap := make([]int64, len(meetings))
+		for i, m := range meetings {
+			fullCap[i] = m.Bytes
+		}
+		for i2 := range ordered {
+			ideal, idealAt := earliestPath(meetings, fullCap, ordered[i2])
+			if ideal == nil || idealAt >= arrivals[i2] {
+				continue // already optimal for itself
+			}
+			// Blockers: packets holding capacity on the ideal path's
+			// saturated meetings.
+			blockers := map[int]bool{}
+			for _, mi := range ideal {
+				if residual[mi] < ordered[i2].Size {
+					for i1 := range ordered {
+						if i1 == i2 {
+							continue
+						}
+						for _, pm := range paths[i1] {
+							if pm == mi {
+								blockers[i1] = true
+							}
+						}
+					}
+				}
+			}
+			for i1 := range blockers {
+				before := contribution(i1) + contribution(i2)
+				old1, old1At := paths[i1], arrivals[i1]
+				old2, old2At := paths[i2], arrivals[i2]
+				release(i1)
+				release(i2)
+				route(i2)
+				route(i1)
+				after := contribution(i1) + contribution(i2)
+				if after < before-1e-12 {
+					improvedAny = true
+					break // i2 improved; move to the next victim
+				}
+				release(i1)
+				release(i2)
+				restore(i1, old1, old1At)
+				restore(i2, old2, old2At)
+			}
+		}
+		if !improvedAny {
+			break
+		}
+	}
+
+	res := &Result{Horizon: sched.Duration}
+	for i, p := range ordered {
+		d := Delivery{P: p}
+		if paths[i] != nil {
+			d.Delivered = true
+			d.DeliveredAt = arrivals[i]
+			d.Hops = len(paths[i])
+		}
+		res.Deliveries = append(res.Deliveries, d)
+	}
+	return res
+}
+
+// earliestPath computes the earliest-arrival time-respecting path for p
+// over meetings with sufficient residual capacity, returning the
+// meeting indices used and the arrival time (nil if unreachable).
+func earliestPath(meetings []trace.Meeting, residual []int64, p *packet.Packet) ([]int, float64) {
+	arrive := map[packet.NodeID]float64{p.Src: p.Created}
+	via := map[packet.NodeID]int{} // meeting index that first reached the node
+	for i, m := range meetings {
+		if m.Time < p.Created {
+			continue
+		}
+		if residual[i] < p.Size {
+			continue
+		}
+		// Snapshot both endpoints before relaxing so the packet cannot
+		// bounce A→B→A within the same meeting.
+		ta, aok := arrive[m.A]
+		tb, bok := arrive[m.B]
+		if aok && ta <= m.Time {
+			if cur, ok := arrive[m.B]; !ok || m.Time < cur {
+				arrive[m.B] = m.Time
+				via[m.B] = i
+			}
+		}
+		if bok && tb <= m.Time {
+			if cur, ok := arrive[m.A]; !ok || m.Time < cur {
+				arrive[m.A] = m.Time
+				via[m.A] = i
+			}
+		}
+		if at, ok := arrive[p.Dst]; ok && at <= m.Time {
+			break // destination reached; later meetings cannot improve
+		}
+	}
+	at, ok := arrive[p.Dst]
+	if !ok {
+		return nil, math.Inf(1)
+	}
+	// Reconstruct the meeting chain.
+	var path []int
+	node := p.Dst
+	for node != p.Src {
+		mi, ok := via[node]
+		if !ok {
+			return nil, math.Inf(1)
+		}
+		path = append(path, mi)
+		m := meetings[mi]
+		if m.A == node {
+			node = m.B
+		} else {
+			node = m.A
+		}
+		if len(path) > len(meetings) {
+			return nil, math.Inf(1) // defensive: corrupted via chain
+		}
+	}
+	// Reverse into source→destination order.
+	for l, r := 0, len(path)-1; l < r; l, r = l+1, r-1 {
+		path[l], path[r] = path[r], path[l]
+	}
+	return path, at
+}

@@ -1,0 +1,124 @@
+package prophet
+
+import (
+	"testing"
+
+	"rapid/internal/buffer"
+	"rapid/internal/packet"
+	"rapid/internal/routing"
+	"rapid/internal/sim"
+	"rapid/internal/trace"
+)
+
+func newNet(t *testing.T) *routing.Network {
+	t.Helper()
+	net := routing.NewNetwork(sim.New(1), []packet.NodeID{0, 1, 2},
+		New(DefaultParams()), routing.Config{Mode: routing.ControlNone})
+	net.Horizon = 1000
+	return net
+}
+
+func TestDirectBoost(t *testing.T) {
+	net := newNet(t)
+	r0 := net.Node(0).Router.(*Router)
+	r1 := net.Node(1).Router.(*Router)
+	r0.GossipWith(r1, 1)
+	if got := r0.Predictability(1, 1); got != 0.75 {
+		t.Errorf("P(0,1)=%v want 0.75", got)
+	}
+	r0.GossipWith(r1, 2)
+	// P = 0.75 aged slightly + (1-P)*0.75 ≈ 0.937.
+	if got := r0.Predictability(1, 2); got < 0.9 || got > 0.95 {
+		t.Errorf("second boost P=%v want ~0.94", got)
+	}
+}
+
+func TestAgingDecays(t *testing.T) {
+	net := newNet(t)
+	r0 := net.Node(0).Router.(*Router)
+	r1 := net.Node(1).Router.(*Router)
+	r0.GossipWith(r1, 0)
+	early := r0.Predictability(1, 0)
+	late := r0.Predictability(1, 3000) // 100 aging units at γ=0.98
+	if late >= early {
+		t.Errorf("no decay: %v -> %v", early, late)
+	}
+	if late > early*0.2 {
+		t.Errorf("decay too weak: %v -> %v", early, late)
+	}
+}
+
+func TestTransitivity(t *testing.T) {
+	net := newNet(t)
+	r0 := net.Node(0).Router.(*Router)
+	r1 := net.Node(1).Router.(*Router)
+	r2 := net.Node(2).Router.(*Router)
+	// 1 meets 2, then 0 meets 1: 0 should gain P(0,2) via transitivity.
+	r1.GossipWith(r2, 1)
+	r0.GossipWith(r1, 2)
+	p02 := r0.Predictability(2, 2)
+	if p02 <= 0 {
+		t.Fatal("no transitive predictability")
+	}
+	// Bounded by P(0,1)*P(1,2)*β.
+	bound := r0.Predictability(1, 2) * r1.Predictability(2, 2) * 0.25
+	if p02 > bound+1e-9 {
+		t.Errorf("transitivity exceeded bound: %v > %v", p02, bound)
+	}
+}
+
+func TestPlanReplicationOnlyWhenPeerIsBetter(t *testing.T) {
+	net := newNet(t)
+	n0, n1 := net.Node(0), net.Node(1)
+	r0 := n0.Router.(*Router)
+	r1 := n1.Router.(*Router)
+	e := &buffer.Entry{P: &packet.Packet{ID: 1, Dst: 2, Size: 10}}
+	n0.Store.Insert(e, nil)
+	// Neither knows dst 2: no replication.
+	if plan := n0.Router.PlanReplication(n1, 1); len(plan) != 0 {
+		t.Error("replicated with zero predictability gain")
+	}
+	// Peer has met dst 2: replicate.
+	r1.GossipWith(net.Node(2).Router.(*Router), 2)
+	if plan := n0.Router.PlanReplication(n1, 3); len(plan) != 1 {
+		t.Error("did not replicate to better peer")
+	}
+	// We are even better than the peer: no replication.
+	r0.GossipWith(net.Node(2).Router.(*Router), 4)
+	r0.GossipWith(net.Node(2).Router.(*Router), 5)
+	if plan := n0.Router.PlanReplication(n1, 6); len(plan) != 0 {
+		t.Error("replicated to worse peer")
+	}
+}
+
+func TestBadParamsFallBack(t *testing.T) {
+	f := New(Params{PInit: 7})
+	r := f(0).(*Router)
+	if r.par.PInit != 0.75 {
+		t.Errorf("params fallback: %+v", r.par)
+	}
+}
+
+func TestEndToEndProphet(t *testing.T) {
+	// Warm-up meetings let node 1 build predictability for 2, then the
+	// packet flows 0→1→2.
+	sched := &trace.Schedule{Duration: 400, Meetings: []trace.Meeting{
+		{A: 1, B: 2, Time: 10, Bytes: 1 << 16},
+		{A: 1, B: 2, Time: 30, Bytes: 1 << 16},
+		{A: 0, B: 1, Time: 60, Bytes: 1 << 16},
+		{A: 1, B: 2, Time: 90, Bytes: 1 << 16},
+	}}
+	w := packet.Workload{{ID: 1, Src: 0, Dst: 2, Size: 1024, Created: 40}}
+	c := routing.Run(routing.Scenario{
+		Schedule: sched, Workload: w, Factory: New(DefaultParams()),
+		Cfg:  routing.Config{Mode: routing.ControlNone},
+		Seed: 1,
+	})
+	s := c.Summarize(400)
+	if s.Delivered != 1 {
+		t.Errorf("delivered %d want 1", s.Delivered)
+	}
+	if s.AvgDelay != 50 { // created 40, delivered at 90
+		t.Errorf("delay %v want 50", s.AvgDelay)
+	}
+}

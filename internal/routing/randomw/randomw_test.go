@@ -1,0 +1,94 @@
+package randomw
+
+import (
+	"testing"
+
+	"rapid/internal/buffer"
+	"rapid/internal/packet"
+	"rapid/internal/routing"
+	"rapid/internal/sim"
+	"rapid/internal/trace"
+)
+
+func TestPlanIsShuffledButDeterministic(t *testing.T) {
+	build := func(seed int64) []packet.ID {
+		net := routing.NewNetwork(sim.New(seed), []packet.NodeID{0, 1},
+			New(), routing.Config{Mode: routing.ControlNone})
+		n0 := net.Node(0)
+		for i := packet.ID(1); i <= 20; i++ {
+			n0.Store.Insert(&buffer.Entry{P: &packet.Packet{ID: i, Dst: 5, Size: 1}}, nil)
+		}
+		plan := n0.Router.PlanReplication(net.Node(1), 0)
+		out := make([]packet.ID, len(plan))
+		for i, e := range plan {
+			out[i] = e.P.ID
+		}
+		return out
+	}
+	a := build(1)
+	b := build(1)
+	c := build(2)
+	if len(a) != 20 {
+		t.Fatalf("plan size %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different shuffles")
+		}
+	}
+	sorted := true
+	diff := false
+	for i := range a {
+		if i > 0 && a[i] < a[i-1] {
+			sorted = false
+		}
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if sorted {
+		t.Error("plan is not shuffled")
+	}
+	if !diff {
+		t.Error("different seeds produced identical shuffles")
+	}
+}
+
+func TestEndToEndRandom(t *testing.T) {
+	sched := &trace.Schedule{Duration: 100, Meetings: []trace.Meeting{
+		{A: 0, B: 1, Time: 10, Bytes: 1 << 16},
+		{A: 1, B: 2, Time: 40, Bytes: 1 << 16},
+	}}
+	w := packet.Workload{{ID: 1, Src: 0, Dst: 2, Size: 1024, Created: 0}}
+	c := routing.Run(routing.Scenario{
+		Schedule: sched, Workload: w, Factory: New(),
+		Cfg:  routing.Config{Mode: routing.ControlNone},
+		Seed: 3,
+	})
+	if got := c.Summarize(100).Delivered; got != 1 {
+		t.Errorf("delivered %d want 1", got)
+	}
+}
+
+func TestRandomWithAcksPurges(t *testing.T) {
+	// With AcksOnly control, a delivered packet's replicas get purged
+	// at later meetings instead of being re-replicated.
+	sched := &trace.Schedule{Duration: 200, Meetings: []trace.Meeting{
+		{A: 0, B: 1, Time: 10, Bytes: 1 << 16}, // replicate
+		{A: 0, B: 2, Time: 20, Bytes: 1 << 16}, // deliver
+		{A: 0, B: 1, Time: 30, Bytes: 1 << 16}, // ack to 1
+	}}
+	w := packet.Workload{{ID: 1, Src: 0, Dst: 2, Size: 1024, Created: 0}}
+	c := routing.Run(routing.Scenario{
+		Schedule: sched, Workload: w, Factory: New(),
+		Cfg:  routing.Config{Mode: routing.ControlInBand, AcksOnly: true, MetaFraction: -1},
+		Seed: 3,
+	})
+	s := c.Summarize(200)
+	if s.Delivered != 1 {
+		t.Fatalf("delivered %d", s.Delivered)
+	}
+	if s.MetaBytes == 0 {
+		t.Error("ack flood sent no bytes")
+	}
+}

@@ -1,0 +1,256 @@
+// Package routing is the DTN runtime: nodes with buffers and control
+// state, the contact session that moves bytes between two nodes during
+// a transfer opportunity, the Router interface that protocols implement
+// (RAPID in internal/core; baselines under internal/routing/...), and
+// the scenario driver that replays a meeting schedule against a
+// workload.
+//
+// The runtime enforces the feasibility constraints of §3.1: the total
+// bytes moved during a meeting (control plus data, both directions)
+// never exceed the transfer opportunity, and buffered bytes never
+// exceed node storage.
+package routing
+
+import (
+	"fmt"
+
+	"rapid/internal/buffer"
+	"rapid/internal/control"
+	"rapid/internal/metrics"
+	"rapid/internal/packet"
+	"rapid/internal/sim"
+	"rapid/internal/trace"
+)
+
+// ControlMode selects how metadata propagates.
+type ControlMode int
+
+const (
+	// ControlInBand is the default: metadata rides contacts and costs
+	// bandwidth (§4.2).
+	ControlInBand ControlMode = iota
+	// ControlGlobal is the instant zero-cost global channel
+	// (§6.2.3, Figs. 10–13).
+	ControlGlobal
+	// ControlNone disables the control plane entirely (pure Random).
+	ControlNone
+)
+
+// String implements fmt.Stringer.
+func (m ControlMode) String() string {
+	switch m {
+	case ControlInBand:
+		return "in-band"
+	case ControlGlobal:
+		return "global"
+	case ControlNone:
+		return "none"
+	default:
+		return fmt.Sprintf("ControlMode(%d)", int(m))
+	}
+}
+
+// Config carries runtime parameters shared by all protocols.
+type Config struct {
+	// BufferBytes is per-node storage for in-transit data
+	// (<= 0: unlimited — the deployment's 40 GB effectively was).
+	BufferBytes int64
+	// Mode selects the control plane.
+	Mode ControlMode
+	// MetaFraction caps metadata at this fraction of each transfer
+	// opportunity (Fig. 8's x-axis). Negative means uncapped, the
+	// paper's default. Zero disables metadata exchange.
+	MetaFraction float64
+	// LocalOnlyMeta restricts metadata to packets in the sender's own
+	// buffer (the rapid-local ablation arm, Fig. 14).
+	LocalOnlyMeta bool
+	// AcksOnly restricts the exchange to delivery acknowledgments
+	// (Random-with-acks; MaxProp's notification flood).
+	AcksOnly bool
+	// Hops is the transitive meeting-estimation horizon (default 3).
+	Hops int
+	// DefaultTransferBytes seeds B (expected opportunity size) before
+	// any transfer has been observed.
+	DefaultTransferBytes float64
+}
+
+// DefaultTransferBytesFallback is used when Config.DefaultTransferBytes
+// is unset.
+const DefaultTransferBytesFallback = 100 << 10
+
+// Node is one DTN node at runtime.
+type Node struct {
+	ID     packet.NodeID
+	Store  *buffer.Store
+	Ctl    *control.State
+	Router Router
+	Net    *Network
+}
+
+// Network owns the nodes, the engine, and the collector for one run.
+type Network struct {
+	Engine    *sim.Engine
+	Nodes     map[packet.NodeID]*Node
+	Collector *metrics.Collector
+	Cfg       Config
+	Global    *control.Global // non-nil in ControlGlobal mode
+	// Horizon is the experiment end time (schedule duration).
+	Horizon float64
+}
+
+// Now returns the simulation clock.
+func (n *Network) Now() float64 { return n.Engine.Now() }
+
+// Node returns the node with the given ID, creating it through the
+// factory is the driver's job; lookup of a missing node panics (a
+// schedule/workload mismatch is a bug in the scenario).
+func (n *Network) Node(id packet.NodeID) *Node {
+	nd, ok := n.Nodes[id]
+	if !ok {
+		panic(fmt.Sprintf("routing: unknown node %d", id))
+	}
+	return nd
+}
+
+// Router is the protocol interface. One Router instance is attached to
+// each node. Routers are driven entirely by the session: they decide
+// what to announce, what to deliver, what to replicate and in what
+// order, and how to store incoming packets — the runtime moves the
+// bytes and enforces budgets.
+type Router interface {
+	// Name identifies the protocol in reports.
+	Name() string
+	// Attach wires the router to its node; called once before the run.
+	Attach(n *Node)
+	// Generate handles a locally created packet. The router must store
+	// it (marking it Own) if it wants it routed.
+	Generate(p *packet.Packet, now float64)
+	// Inventory returns the announce list for a metadata exchange, with
+	// fresh delivery-delay estimates where the protocol computes them.
+	Inventory(now float64) []control.InventoryItem
+	// DirectQueue returns buffered packets destined to peer, in
+	// delivery order (Protocol rapid Step 2: "decreasing order of
+	// their utility").
+	DirectQueue(peer packet.NodeID, now float64) []*buffer.Entry
+	// PlanReplication returns replication candidates for this contact
+	// in decreasing marginal-utility-per-byte order (Step 3). The
+	// session filters duplicates, acked and oversized packets.
+	PlanReplication(peer *Node, now float64) []*buffer.Entry
+	// Accept stores an incoming replica, applying the protocol's
+	// buffer-management policy; it reports whether the packet was kept.
+	Accept(e *buffer.Entry, from packet.NodeID, now float64) bool
+}
+
+// Gossiper is an optional Router extension for protocols that exchange
+// protocol-specific state at contacts (MaxProp's meeting-probability
+// vectors, PRoPHET's delivery predictabilities). The paper charges only
+// RAPID for its control channel ("In all experiments, we include the
+// cost of rapid's in-band control channel"), so gossip is free.
+type Gossiper interface {
+	GossipWith(peer Router, now float64)
+}
+
+// ReplicationObserver is an optional Router extension notified when one
+// of its entries was replicated to a peer (Spray-and-Wait halves its
+// token count here).
+type ReplicationObserver interface {
+	OnReplicated(src *buffer.Entry, copy *buffer.Entry, to packet.NodeID)
+}
+
+// ReplicaDelayEstimator is an optional Router extension that supplies
+// the expected direct-delivery delay of a replica just pushed to a peer
+// (RAPID's hypothesized d_Y for the new copy, used to prime the control
+// plane's metadata before the receiver's next exchange refreshes it).
+type ReplicaDelayEstimator interface {
+	EstimateReplicaDelay(e *buffer.Entry, holder *Node, now float64) float64
+}
+
+// RouterFactory builds a fresh Router per node.
+type RouterFactory func(id packet.NodeID) Router
+
+// NewNetwork builds nodes for the given IDs with the factory.
+func NewNetwork(engine *sim.Engine, ids []packet.NodeID, f RouterFactory, cfg Config) *Network {
+	if cfg.Hops <= 0 {
+		cfg.Hops = 3
+	}
+	if cfg.DefaultTransferBytes <= 0 {
+		cfg.DefaultTransferBytes = DefaultTransferBytesFallback
+	}
+	net := &Network{
+		Engine:    engine,
+		Nodes:     make(map[packet.NodeID]*Node, len(ids)),
+		Collector: metrics.New(),
+		Cfg:       cfg,
+	}
+	if cfg.Mode == ControlGlobal {
+		net.Global = control.NewGlobal()
+	}
+	for _, id := range ids {
+		n := &Node{
+			ID:    id,
+			Store: buffer.New(cfg.BufferBytes),
+			Ctl:   control.NewState(id, cfg.Hops, net.Global),
+			Net:   net,
+		}
+		n.Router = f(id)
+		n.Router.Attach(n)
+		net.Nodes[id] = n
+	}
+	return net
+}
+
+// Scenario couples a schedule, a workload and a protocol for Run.
+type Scenario struct {
+	Schedule *trace.Schedule
+	Workload packet.Workload
+	Factory  RouterFactory
+	Cfg      Config
+	Seed     int64
+}
+
+// Run replays the scenario and returns the collector. Packets whose
+// source or destination never appears in the schedule are still
+// injected (their node simply has no meetings).
+func Run(sc Scenario) *metrics.Collector {
+	engine := sim.New(sc.Seed)
+	ids := participantIDs(sc)
+	net := NewNetwork(engine, ids, sc.Factory, sc.Cfg)
+	net.Horizon = sc.Schedule.Duration
+
+	for _, p := range sc.Workload {
+		p := p
+		engine.ScheduleFunc(p.Created, func(e *sim.Engine) {
+			net.Collector.Generated(p)
+			src := net.Node(p.Src)
+			src.Router.Generate(p, e.Now())
+		})
+	}
+	for _, m := range sc.Schedule.Meetings {
+		m := m
+		engine.ScheduleFunc(m.Time, func(e *sim.Engine) {
+			RunSession(net, net.Node(m.A), net.Node(m.B), m.Bytes)
+		})
+	}
+	engine.RunUntil(sc.Schedule.Duration)
+	return net.Collector
+}
+
+// participantIDs unions schedule nodes and workload endpoints.
+func participantIDs(sc Scenario) []packet.NodeID {
+	seen := map[packet.NodeID]bool{}
+	var ids []packet.NodeID
+	add := func(id packet.NodeID) {
+		if !seen[id] {
+			seen[id] = true
+			ids = append(ids, id)
+		}
+	}
+	for _, id := range sc.Schedule.Nodes() {
+		add(id)
+	}
+	for _, p := range sc.Workload {
+		add(p.Src)
+		add(p.Dst)
+	}
+	return ids
+}

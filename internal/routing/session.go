@@ -1,0 +1,214 @@
+package routing
+
+import (
+	"math"
+
+	"rapid/internal/buffer"
+	"rapid/internal/control"
+	"rapid/internal/packet"
+)
+
+// Session executes one transfer opportunity between two nodes,
+// implementing the outer loop of Protocol rapid (§3.4) in a
+// protocol-agnostic way:
+//
+//  1. metadata exchange (control plane; byte-accounted, possibly capped)
+//  2. purge of packets now known to be delivered
+//  3. direct delivery, both directions
+//  4. replication, both directions interleaved round-robin in each
+//     side's decreasing marginal-utility order
+//  5. termination when the byte budget is exhausted or both sides run
+//     out of candidates
+//
+// The byte budget is shared between directions and between control and
+// data, matching the merged connection events of the deployment (§5).
+type Session struct {
+	net    *Network
+	x, y   *Node
+	budget int64
+	now    float64
+}
+
+// RunSession processes a meeting between nodes a and b with the given
+// transfer-opportunity size.
+func RunSession(net *Network, a, b *Node, bytes int64) {
+	s := &Session{net: net, x: a, y: b, budget: bytes, now: net.Now()}
+	net.Collector.Meetings++
+	net.Collector.OpportunityBytes += bytes
+
+	// Both ends observe the opportunity size (the moving average that
+	// becomes B in Estimate-Delay).
+	a.Ctl.ObserveTransfer(bytes)
+	b.Ctl.ObserveTransfer(bytes)
+
+	s.exchangeMetadata()
+	s.purgeAcked(a)
+	s.purgeAcked(b)
+	s.gossip()
+
+	s.directDeliver(a, b)
+	s.directDeliver(b, a)
+	s.replicate()
+}
+
+// Remaining returns the unspent byte budget (visible to routers that
+// want budget-aware planning).
+func (s *Session) Remaining() int64 { return s.budget }
+
+// exchangeMetadata runs the control-plane exchange and charges its
+// bytes against the opportunity.
+func (s *Session) exchangeMetadata() {
+	cfg := s.net.Cfg
+	if cfg.Mode == ControlNone || cfg.MetaFraction == 0 {
+		// Even without a metadata channel the radios discover each
+		// other; meeting history is observable locally.
+		s.x.Ctl.Meet.ObserveMeeting(s.y.ID, s.now)
+		s.y.Ctl.Meet.ObserveMeeting(s.x.ID, s.now)
+		return
+	}
+	maxBytes := int64(-1)
+	switch {
+	case cfg.MetaFraction > 0:
+		maxBytes = int64(cfg.MetaFraction * float64(s.budget))
+	default:
+		// Uncapped metadata still cannot exceed the opportunity
+		// ("as much bandwidth at the start of a transfer opportunity
+		// ... as it requires").
+		maxBytes = s.budget
+	}
+	opts := control.Options{
+		MaxBytes:  maxBytes,
+		LocalOnly: cfg.LocalOnlyMeta,
+		AcksOnly:  cfg.AcksOnly,
+	}
+	res := control.Exchange(
+		s.x.Ctl, s.y.Ctl,
+		s.x.Router.Inventory(s.now), s.y.Router.Inventory(s.now),
+		s.now, opts,
+	)
+	s.budget -= res.Bytes
+	s.net.Collector.MetaBytes += res.Bytes
+}
+
+// purgeAcked drops buffered copies of packets now known delivered
+// ("flooding acknowledgments improves delivery rates by removing
+// useless packets from the network").
+func (s *Session) purgeAcked(n *Node) {
+	var victims []packet.ID
+	for _, e := range n.Store.Entries() {
+		if n.Ctl.IsAcked(e.P.ID) {
+			victims = append(victims, e.P.ID)
+		}
+	}
+	for _, id := range victims {
+		n.Store.Remove(id)
+	}
+}
+
+// gossip lets protocol-specific state flow (free of charge — only
+// RAPID's control channel is byte-accounted, per §6.1).
+func (s *Session) gossip() {
+	if g, ok := s.x.Router.(Gossiper); ok {
+		g.GossipWith(s.y.Router, s.now)
+	}
+	if g, ok := s.y.Router.(Gossiper); ok {
+		g.GossipWith(s.x.Router, s.now)
+	}
+}
+
+// directDeliver sends packets destined to `to` (Protocol rapid Step 2).
+func (s *Session) directDeliver(from, to *Node) {
+	for _, e := range from.Router.DirectQueue(to.ID, s.now) {
+		if s.budget < e.P.Size {
+			continue // a smaller packet later in the queue may still fit
+		}
+		if s.net.Collector.IsDelivered(e.P.ID) && from.Ctl.IsAcked(e.P.ID) {
+			from.Store.Remove(e.P.ID)
+			continue
+		}
+		s.budget -= e.P.Size
+		s.net.Collector.DataBytes += e.P.Size
+		s.net.Collector.DirectDeliveries++
+		s.net.Collector.Delivered(e.P.ID, s.now, e.Hops+1)
+		// Both parties instantly know the packet is delivered: the
+		// destination generated the ack in person.
+		from.Ctl.LearnAck(e.P.ID, s.now)
+		to.Ctl.LearnAck(e.P.ID, s.now)
+		from.Store.Remove(e.P.ID)
+	}
+}
+
+// replicate interleaves the two directions' replication plans
+// (Protocol rapid Steps 3a–3c) until the budget or both plans are
+// exhausted.
+func (s *Session) replicate() {
+	planX := s.x.Router.PlanReplication(s.y, s.now)
+	planY := s.y.Router.PlanReplication(s.x, s.now)
+	ix, iy := 0, 0
+	turnX := true
+	stalledX, stalledY := false, false
+	for !stalledX || !stalledY {
+		if turnX {
+			ix, stalledX = s.replicateNext(s.x, s.y, planX, ix)
+		} else {
+			iy, stalledY = s.replicateNext(s.y, s.x, planY, iy)
+		}
+		turnX = !turnX
+	}
+}
+
+// replicateNext transfers the next eligible candidate from plan[i:],
+// returning the advanced index and whether this direction is done.
+func (s *Session) replicateNext(from, to *Node, plan []*buffer.Entry, i int) (int, bool) {
+	for ; i < len(plan); i++ {
+		e := plan[i]
+		if e.P.Dst == to.ID {
+			continue // would be direct delivery, handled in Step 2
+		}
+		if !from.Store.Has(e.P.ID) {
+			continue // evicted or delivered since planning
+		}
+		if to.Store.Has(e.P.ID) {
+			continue // Step 3a: peer already has it
+		}
+		if from.Ctl.IsAcked(e.P.ID) || to.Ctl.IsAcked(e.P.ID) {
+			continue
+		}
+		if e.P.Size > s.budget {
+			continue // try a smaller candidate
+		}
+		// Transmit. Bytes are spent whether or not the receiver keeps
+		// the copy (the radio already sent them).
+		s.budget -= e.P.Size
+		copyEntry := &buffer.Entry{
+			P:          e.P,
+			ReceivedAt: s.now,
+			Hops:       e.Hops + 1,
+			Tokens:     e.Tokens, // router hooks may adjust
+		}
+		if obs, ok := from.Router.(ReplicationObserver); ok {
+			obs.OnReplicated(e, copyEntry, to.ID)
+		}
+		if to.Router.Accept(copyEntry, from.ID, s.now) {
+			s.net.Collector.DataBytes += e.P.Size
+			s.net.Collector.Replications++
+			// Both ends now know the replica exists. The sender
+			// supplies its hypothesized delivery estimate for the new
+			// replica if the protocol computes one (RAPID's d_Y); it
+			// refreshes at the receiver's next exchange either way.
+			delay := math.Inf(1)
+			if est, ok := from.Router.(ReplicaDelayEstimator); ok {
+				delay = est.EstimateReplicaDelay(e, to, s.now)
+			}
+			item := control.InventoryItem{
+				ID: e.P.ID, Dst: e.P.Dst, Size: e.P.Size,
+				Created: e.P.Created, Deadline: e.P.Deadline,
+				Delay: delay, Hops: copyEntry.Hops,
+			}
+			from.Ctl.NoteReplica(item, to.ID, s.now)
+			to.Ctl.NoteReplica(item, to.ID, s.now)
+		}
+		return i + 1, false
+	}
+	return i, true
+}

@@ -1,0 +1,119 @@
+package spraywait
+
+import (
+	"testing"
+
+	"rapid/internal/buffer"
+	"rapid/internal/packet"
+	"rapid/internal/routing"
+	"rapid/internal/sim"
+	"rapid/internal/trace"
+)
+
+func newNet(t *testing.T, l int) *routing.Network {
+	t.Helper()
+	net := routing.NewNetwork(sim.New(1), []packet.NodeID{0, 1, 2},
+		New(l), routing.Config{Mode: routing.ControlNone})
+	net.Horizon = 1000
+	return net
+}
+
+func TestGenerateCarriesTokens(t *testing.T) {
+	net := newNet(t, 12)
+	n0 := net.Node(0)
+	p := &packet.Packet{ID: 1, Src: 0, Dst: 2, Size: 10, Created: 0}
+	n0.Router.Generate(p, 0)
+	if got := n0.Store.Get(1).Tokens; got != 12 {
+		t.Errorf("tokens %d want 12", got)
+	}
+}
+
+func TestDefaultL(t *testing.T) {
+	net := newNet(t, 0) // 0 selects DefaultL
+	n0 := net.Node(0)
+	n0.Router.Generate(&packet.Packet{ID: 1, Src: 0, Dst: 2, Size: 10}, 0)
+	if got := n0.Store.Get(1).Tokens; got != DefaultL {
+		t.Errorf("tokens %d want %d", got, DefaultL)
+	}
+}
+
+func TestBinarySplit(t *testing.T) {
+	net := newNet(t, 12)
+	n0 := net.Node(0)
+	r := n0.Router.(*Router)
+	src := &buffer.Entry{P: &packet.Packet{ID: 1, Dst: 2, Size: 10}, Tokens: 12}
+	cp := &buffer.Entry{P: src.P}
+	r.OnReplicated(src, cp, 1)
+	if src.Tokens != 6 || cp.Tokens != 6 {
+		t.Errorf("split %d/%d want 6/6", src.Tokens, cp.Tokens)
+	}
+	r.OnReplicated(src, cp, 1)
+	if src.Tokens != 3 || cp.Tokens != 3 {
+		t.Errorf("second split %d/%d want 3/3", src.Tokens, cp.Tokens)
+	}
+	// Odd count: the donor keeps the extra token.
+	src.Tokens = 3
+	r.OnReplicated(src, cp, 1)
+	if src.Tokens != 2 || cp.Tokens != 1 {
+		t.Errorf("odd split %d/%d want 2/1", src.Tokens, cp.Tokens)
+	}
+}
+
+func TestWaitPhaseStopsReplication(t *testing.T) {
+	net := newNet(t, 12)
+	n0, n1 := net.Node(0), net.Node(1)
+	e := &buffer.Entry{P: &packet.Packet{ID: 1, Dst: 2, Size: 10}, Tokens: 1}
+	n0.Store.Insert(e, nil)
+	if plan := n0.Router.PlanReplication(n1, 0); len(plan) != 0 {
+		t.Error("wait-phase packet must not be replicated")
+	}
+	e.Tokens = 2
+	if plan := n0.Router.PlanReplication(n1, 0); len(plan) != 1 {
+		t.Error("spray-phase packet must be replicable")
+	}
+}
+
+func TestTotalCopiesBoundedByL(t *testing.T) {
+	// On a fully-connected burst of meetings, the number of distinct
+	// nodes ever holding the packet must not exceed L.
+	const L = 4
+	var meetings []trace.Meeting
+	tm := 1.0
+	// Source 0 meets everyone repeatedly; relays meet each other too.
+	for round := 0; round < 4; round++ {
+		for a := 0; a < 8; a++ {
+			for b := a + 1; b < 8; b++ {
+				meetings = append(meetings, trace.Meeting{
+					A: packet.NodeID(a), B: packet.NodeID(b), Time: tm, Bytes: 1 << 16,
+				})
+				tm += 1
+			}
+		}
+	}
+	sched := &trace.Schedule{Duration: tm + 10, Meetings: meetings}
+	w := packet.Workload{{ID: 1, Src: 0, Dst: 99, Size: 10, Created: 0}} // dst never met
+	c := routing.Run(routing.Scenario{
+		Schedule: sched, Workload: w, Factory: New(L),
+		Cfg:  routing.Config{Mode: routing.ControlNone},
+		Seed: 2,
+	})
+	if got := c.Replications; got > L-1 {
+		t.Errorf("replications %d exceed L-1=%d", got, L-1)
+	}
+}
+
+func TestEndToEndSprayAndWait(t *testing.T) {
+	sched := &trace.Schedule{Duration: 200, Meetings: []trace.Meeting{
+		{A: 0, B: 1, Time: 10, Bytes: 1 << 16},
+		{A: 1, B: 2, Time: 50, Bytes: 1 << 16},
+	}}
+	w := packet.Workload{{ID: 1, Src: 0, Dst: 2, Size: 1024, Created: 0}}
+	c := routing.Run(routing.Scenario{
+		Schedule: sched, Workload: w, Factory: New(12),
+		Cfg:  routing.Config{Mode: routing.ControlNone},
+		Seed: 1,
+	})
+	if got := c.Summarize(200).Delivered; got != 1 {
+		t.Errorf("delivered %d want 1", got)
+	}
+}

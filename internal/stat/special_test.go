@@ -1,0 +1,148 @@
+package stat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	if diff <= tol {
+		return true
+	}
+	return diff <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestGammaRegPKnownValues(t *testing.T) {
+	// Reference values from standard tables / scipy.special.gammainc.
+	cases := []struct{ a, x, want float64 }{
+		{1, 1, 1 - math.Exp(-1)}, // Gamma(1) is exponential
+		{1, 2, 1 - math.Exp(-2)},
+		{2, 2, 1 - 3*math.Exp(-2)}, // P(2,x)=1-(1+x)e^-x
+		{3, 3, 1 - (1+3+4.5)*math.Exp(-3)},
+		{0.5, 0.5, 0.6826894921370859}, // erf relation
+		{5, 5, 0.5595067149347875},
+		{10, 10, 0.5420702855281478},
+	}
+	for _, c := range cases {
+		got, err := GammaRegP(c.a, c.x)
+		if err != nil {
+			t.Fatalf("GammaRegP(%v,%v): %v", c.a, c.x, err)
+		}
+		if !almostEqual(got, c.want, 1e-9) {
+			t.Errorf("GammaRegP(%v,%v)=%v want %v", c.a, c.x, got, c.want)
+		}
+	}
+}
+
+func TestGammaRegPDomain(t *testing.T) {
+	if _, err := GammaRegP(-1, 1); err == nil {
+		t.Error("expected domain error for a<0")
+	}
+	if _, err := GammaRegP(1, -1); err == nil {
+		t.Error("expected domain error for x<0")
+	}
+	if p, err := GammaRegP(3, 0); err != nil || p != 0 {
+		t.Errorf("GammaRegP(3,0)=%v,%v want 0,nil", p, err)
+	}
+	if p, err := GammaRegP(3, math.Inf(1)); err != nil || p != 1 {
+		t.Errorf("GammaRegP(3,inf)=%v,%v want 1,nil", p, err)
+	}
+}
+
+func TestGammaRegPMonotoneInX(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := 0.1 + 20*r.Float64()
+		x1 := 30 * r.Float64()
+		x2 := x1 + 10*r.Float64()
+		p1, err1 := GammaRegP(a, x1)
+		p2, err2 := GammaRegP(a, x2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return p2 >= p1-1e-12 && p1 >= -1e-12 && p2 <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGammaPlusQIsOne(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := 0.1 + 30*r.Float64()
+		x := 50 * r.Float64()
+		p, err1 := GammaRegP(a, x)
+		q, err2 := GammaRegQ(a, x)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return almostEqual(p+q, 1, 1e-10)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBetaRegKnownValues(t *testing.T) {
+	cases := []struct{ a, b, x, want float64 }{
+		{1, 1, 0.3, 0.3},  // Beta(1,1) is uniform
+		{2, 2, 0.5, 0.5},  // symmetric
+		{2, 1, 0.5, 0.25}, // I_x(2,1) = x^2
+		{1, 2, 0.5, 0.75}, // I_x(1,2) = 1-(1-x)^2
+		{5, 5, 0.5, 0.5},
+		{0.5, 0.5, 0.25, 1.0 / 3.0}, // arcsine distribution: 2/pi asin(sqrt x)
+	}
+	for _, c := range cases {
+		got, err := BetaReg(c.a, c.b, c.x)
+		if err != nil {
+			t.Fatalf("BetaReg(%v,%v,%v): %v", c.a, c.b, c.x, err)
+		}
+		if !almostEqual(got, c.want, 1e-8) {
+			t.Errorf("BetaReg(%v,%v,%v)=%v want %v", c.a, c.b, c.x, got, c.want)
+		}
+	}
+}
+
+func TestBetaRegSymmetry(t *testing.T) {
+	// I_x(a,b) = 1 - I_{1-x}(b,a)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := 0.2 + 10*r.Float64()
+		b := 0.2 + 10*r.Float64()
+		x := r.Float64()
+		l, err1 := BetaReg(a, b, x)
+		rr, err2 := BetaReg(b, a, 1-x)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return almostEqual(l, 1-rr, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBetaRegEdges(t *testing.T) {
+	if v, err := BetaReg(2, 3, 0); err != nil || v != 0 {
+		t.Errorf("BetaReg(2,3,0)=%v,%v", v, err)
+	}
+	if v, err := BetaReg(2, 3, 1); err != nil || v != 1 {
+		t.Errorf("BetaReg(2,3,1)=%v,%v", v, err)
+	}
+	if _, err := BetaReg(0, 1, 0.5); err == nil {
+		t.Error("expected domain error for a=0")
+	}
+	if _, err := BetaReg(1, 1, 1.5); err == nil {
+		t.Error("expected domain error for x>1")
+	}
+}

@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"rapid/internal/packet"
+)
+
+// The on-disk trace format is line-oriented text, one record per line:
+//
+//	# free-form comment
+//	duration <seconds>
+//	meet <nodeA> <nodeB> <time-seconds> <bytes>
+//
+// The format mirrors the published DieselNet trace releases
+// (traces.cs.umass.edu) closely enough that adapting a real trace is a
+// matter of field reordering.
+
+// Write serializes a schedule. Meetings are written in their current
+// order; call Sort first for canonical output.
+func Write(w io.Writer, s *Schedule) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "duration %g\n", s.Duration); err != nil {
+		return err
+	}
+	for _, m := range s.Meetings {
+		if _, err := fmt.Fprintf(bw, "meet %d %d %g %d\n", m.A, m.B, m.Time, m.Bytes); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a schedule written by Write. Unknown directives and
+// comment lines (starting with '#') are skipped so the format can be
+// extended compatibly.
+func Read(r io.Reader) (*Schedule, error) {
+	s := &Schedule{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "duration":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("trace: line %d: duration needs 1 argument", lineNo)
+			}
+			d, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad duration: %v", lineNo, err)
+			}
+			s.Duration = d
+		case "meet":
+			if len(fields) != 5 {
+				return nil, fmt.Errorf("trace: line %d: meet needs 4 arguments", lineNo)
+			}
+			a, err1 := strconv.Atoi(fields[1])
+			b, err2 := strconv.Atoi(fields[2])
+			t, err3 := strconv.ParseFloat(fields[3], 64)
+			bytes, err4 := strconv.ParseInt(fields[4], 10, 64)
+			if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+				return nil, fmt.Errorf("trace: line %d: malformed meet record", lineNo)
+			}
+			s.Meetings = append(s.Meetings, Meeting{
+				A: packet.NodeID(a), B: packet.NodeID(b), Time: t, Bytes: bytes,
+			})
+		default:
+			// Skip unknown directives for forward compatibility.
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

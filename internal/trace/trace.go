@@ -1,0 +1,117 @@
+// Package trace defines contact traces — the node meeting schedules of
+// §3.1 — together with a text codec and the synthetic DieselNet
+// generator that substitutes for the proprietary 58-day bus traces used
+// by the paper (see DESIGN.md §3 for the substitution argument).
+//
+// A schedule is the directed multigraph G=(V,E) of the paper flattened
+// into a time-sorted list of meetings, each annotated with the transfer
+// opportunity size in bytes.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"rapid/internal/packet"
+)
+
+// Meeting is one edge of the meeting multigraph: nodes A and B are in
+// radio range at Time and can exchange up to Bytes bytes in total
+// (both directions share the opportunity, mirroring the merged
+// connection events of the DieselNet deployment, §5).
+type Meeting struct {
+	A, B  packet.NodeID
+	Time  float64
+	Bytes int64
+}
+
+// Schedule is a complete meeting schedule for one experiment (one
+// DieselNet day, or one synthetic-mobility run).
+type Schedule struct {
+	Meetings []Meeting
+	// Duration is the experiment horizon in seconds; meetings all occur
+	// in [0, Duration).
+	Duration float64
+}
+
+// Sort orders meetings by time (stable on A, B for determinism).
+func (s *Schedule) Sort() {
+	sort.Slice(s.Meetings, func(i, j int) bool {
+		mi, mj := s.Meetings[i], s.Meetings[j]
+		if mi.Time != mj.Time {
+			return mi.Time < mj.Time
+		}
+		if mi.A != mj.A {
+			return mi.A < mj.A
+		}
+		return mi.B < mj.B
+	})
+}
+
+// Nodes returns the sorted set of node IDs that appear in the schedule.
+func (s *Schedule) Nodes() []packet.NodeID {
+	seen := map[packet.NodeID]bool{}
+	for _, m := range s.Meetings {
+		seen[m.A] = true
+		seen[m.B] = true
+	}
+	out := make([]packet.NodeID, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TotalBytes sums the transfer-opportunity sizes (the denominator of the
+// paper's metadata/bandwidth ratio, Table 3).
+func (s *Schedule) TotalBytes() int64 {
+	var t int64
+	for _, m := range s.Meetings {
+		t += m.Bytes
+	}
+	return t
+}
+
+// Validate checks structural invariants: time-sorted, within duration,
+// non-negative sizes, no self-meetings.
+func (s *Schedule) Validate() error {
+	prev := -1.0
+	for i, m := range s.Meetings {
+		if m.A == m.B {
+			return fmt.Errorf("trace: meeting %d is a self-meeting of node %d", i, m.A)
+		}
+		if m.Time < prev {
+			return fmt.Errorf("trace: meeting %d out of order (%.3f after %.3f)", i, m.Time, prev)
+		}
+		if m.Time < 0 || (s.Duration > 0 && m.Time >= s.Duration) {
+			return fmt.Errorf("trace: meeting %d at %.3f outside [0,%.3f)", i, m.Time, s.Duration)
+		}
+		if m.Bytes < 0 {
+			return fmt.Errorf("trace: meeting %d has negative size", i)
+		}
+		prev = m.Time
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the schedule.
+func (s *Schedule) Clone() *Schedule {
+	cp := &Schedule{Duration: s.Duration, Meetings: make([]Meeting, len(s.Meetings))}
+	copy(cp.Meetings, s.Meetings)
+	return cp
+}
+
+// ErrEmptySchedule is returned by consumers that need at least one
+// meeting.
+var ErrEmptySchedule = errors.New("trace: empty schedule")
+
+// MeanOpportunity returns the average transfer-opportunity size in
+// bytes, or an error for an empty schedule.
+func (s *Schedule) MeanOpportunity() (float64, error) {
+	if len(s.Meetings) == 0 {
+		return 0, ErrEmptySchedule
+	}
+	return float64(s.TotalBytes()) / float64(len(s.Meetings)), nil
+}

@@ -1,0 +1,122 @@
+package rapid_test
+
+import (
+	"testing"
+
+	"rapid"
+)
+
+func smallScenario(t *testing.T) (*rapid.Schedule, rapid.Workload) {
+	t.Helper()
+	sched := rapid.ExponentialMobility(rapid.MobilityConfig{
+		Nodes: 10, Duration: 600, MeanMeeting: 40, TransferBytes: 50 << 10,
+	}, 1)
+	w := rapid.PoissonWorkload(rapid.WorkloadConfig{
+		Nodes: sched.Nodes(), PacketsPerWindowPerDest: 2,
+		Window: 50, Duration: 400, PacketBytes: 1 << 10, Deadline: 60,
+	}, 2)
+	return sched, w
+}
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	sched, w := smallScenario(t)
+	res := rapid.Run(sched, w, rapid.RAPID(rapid.MinimizeAvgDelay), rapid.Config{Seed: 3})
+	if res.Summary.Generated != len(w) {
+		t.Fatalf("generated %d want %d", res.Summary.Generated, len(w))
+	}
+	if res.Summary.DeliveryRate <= 0.3 {
+		t.Errorf("delivery rate %v suspiciously low", res.Summary.DeliveryRate)
+	}
+	if res.Collector == nil || len(res.Collector.Records()) != len(w) {
+		t.Error("collector records missing")
+	}
+}
+
+func TestAllProtocolsRun(t *testing.T) {
+	sched, w := smallScenario(t)
+	protos := []rapid.Protocol{
+		rapid.RAPID(rapid.MinimizeAvgDelay),
+		rapid.RAPID(rapid.MinimizeMissedDeadlines),
+		rapid.RAPID(rapid.MinimizeMaxDelay),
+		rapid.MaxProp(),
+		rapid.SprayAndWait(0),
+		rapid.PRoPHET(),
+		rapid.Random(),
+		rapid.RandomWithAcks(),
+		rapid.Epidemic(),
+	}
+	for _, p := range protos {
+		res := rapid.Run(sched, w, p, rapid.Config{Seed: 5, BufferBytes: 64 << 10})
+		if res.Summary.Delivered == 0 {
+			t.Errorf("%s delivered nothing", p.Name())
+		}
+		s := res.Summary
+		if s.DataBytes+s.MetaBytes > s.OpportunityBytes {
+			t.Errorf("%s violated feasibility", p.Name())
+		}
+		if p.Name() == "" {
+			t.Error("unnamed protocol")
+		}
+	}
+}
+
+func TestControlChannelModes(t *testing.T) {
+	sched, w := smallScenario(t)
+	inband := rapid.Run(sched, w, rapid.RAPID(rapid.MinimizeAvgDelay), rapid.Config{Seed: 7})
+	global := rapid.Run(sched, w, rapid.RAPID(rapid.MinimizeAvgDelay),
+		rapid.Config{Seed: 7, Control: rapid.InstantGlobal})
+	none := rapid.Run(sched, w, rapid.RAPID(rapid.MinimizeAvgDelay),
+		rapid.Config{Seed: 7, MetaFraction: -1})
+	if inband.Summary.MetaBytes == 0 {
+		t.Error("in-band channel sent no metadata")
+	}
+	if global.Summary.MetaBytes != 0 {
+		t.Error("global channel must cost nothing")
+	}
+	if none.Summary.MetaBytes != 0 {
+		t.Error("disabled channel sent metadata")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	sched, w := smallScenario(t)
+	a := rapid.Run(sched, w, rapid.RAPID(rapid.MinimizeAvgDelay), rapid.Config{Seed: 11})
+	b := rapid.Run(sched, w, rapid.RAPID(rapid.MinimizeAvgDelay), rapid.Config{Seed: 11})
+	if a.Summary != b.Summary {
+		t.Errorf("same seed, different summaries:\n%+v\n%+v", a.Summary, b.Summary)
+	}
+}
+
+func TestOptimalBeatsOnline(t *testing.T) {
+	sched, w := smallScenario(t)
+	opt := rapid.Optimal(sched, w)
+	online := rapid.Run(sched, w, rapid.RAPID(rapid.MinimizeAvgDelay), rapid.Config{Seed: 1})
+	if opt.AvgDelayAll() > online.Summary.AvgDelayAll+1e-9 {
+		t.Errorf("oracle (%.1f) lost to an online protocol (%.1f)",
+			opt.AvgDelayAll(), online.Summary.AvgDelayAll)
+	}
+}
+
+func TestDieselNetDayPublicAPI(t *testing.T) {
+	cfg := rapid.DefaultDieselNet()
+	sched := rapid.DieselNetDay(cfg, 0)
+	if err := sched.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Meetings) < 50 {
+		t.Errorf("suspiciously few meetings: %d", len(sched.Meetings))
+	}
+}
+
+func TestPowerLawMobilityPublicAPI(t *testing.T) {
+	sched := rapid.PowerLawMobility(rapid.MobilityConfig{
+		Nodes: 12, Duration: 300, MeanMeeting: 30, TransferBytes: 10 << 10,
+		PowerLawAlpha: 1,
+	}, 4)
+	if err := sched.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Meetings) == 0 {
+		t.Fatal("no meetings")
+	}
+}
