@@ -15,6 +15,7 @@ package rapid_test
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"rapid"
@@ -25,6 +26,7 @@ import (
 	"rapid/internal/meet"
 	"rapid/internal/packet"
 	"rapid/internal/routing/optimal"
+	"rapid/internal/scenario"
 	"rapid/internal/sim"
 	"rapid/internal/stat"
 	"rapid/internal/trace"
@@ -297,5 +299,54 @@ func BenchmarkRapidSessionHeavyBuffer(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rapid.Run(sched, w, rapid.RAPID(rapid.MinimizeAvgDelay), rapid.Config{Seed: int64(i)})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Parallel sweep engine (DESIGN.md §6): the same ≥4-scenario registry
+// sweep executed with one worker and with GOMAXPROCS workers. On
+// multi-core hardware the workers=N variant shows the engine's
+// wall-clock speedup; each iteration uses a fresh engine so caching
+// never short-circuits the measurement.
+//
+//	go test -bench 'Sweep' -cpu 1,4,8
+
+func sweepGrid(tag string) []scenario.Scenario {
+	scs, err := scenario.Expand("synth-exponential", scenario.Params{
+		Tag: tag, Runs: 2, Loads: []float64{10, 40},
+		Protocols: []scenario.Proto{scenario.ProtoRapid, scenario.ProtoMaxProp},
+		Nodes:     12, Duration: 300,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return scs
+}
+
+func BenchmarkSweep(b *testing.B) {
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e := exp.NewEngine(workers, 0)
+				grid := sweepGrid(fmt.Sprintf("bench-sweep-%d-%d", workers, i))
+				if got := e.Summaries(grid); len(got) != len(grid) {
+					b.Fatalf("got %d summaries for %d scenarios", len(got), len(grid))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSweepCached measures a fully warm cache: the second pass
+// over a sweep costs map lookups only.
+func BenchmarkSweepCached(b *testing.B) {
+	e := exp.NewEngine(0, 0)
+	grid := sweepGrid("bench-sweep-cached")
+	e.Summaries(grid)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Summaries(grid)
 	}
 }

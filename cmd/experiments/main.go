@@ -1,10 +1,14 @@
-// Command experiments regenerates the paper's tables and figures.
+// Command experiments regenerates the paper's tables and figures and
+// runs registered scenario-family sweeps on the parallel experiment
+// engine.
 //
 // Usage:
 //
 //	experiments -list
-//	experiments -fig fig4 [-scale tiny|default|full] [-out results]
+//	experiments -fig fig4 [-scale tiny|default|full] [-out results] [-workers 8]
 //	experiments -fig all -scale default -out results
+//	experiments -families
+//	experiments -family hetero-buffers -scale tiny
 //
 // For each experiment it writes <out>/<id>.dat (gnuplot-style series)
 // and <out>/<id>.txt (an ASCII rendering plus notes), and prints the
@@ -22,17 +26,21 @@ import (
 
 	"rapid/internal/exp"
 	"rapid/internal/report"
+	"rapid/internal/scenario"
 )
 
 func main() {
 	var (
-		figID  = flag.String("fig", "", "experiment id (fig3..fig24, table3) or 'all'")
-		scale  = flag.String("scale", "default", "tiny | default | full")
-		outDir = flag.String("out", "results", "output directory")
-		list   = flag.Bool("list", false, "list experiments and exit")
-		plotW  = flag.Int("plot-width", 72, "ASCII plot width")
-		plotH  = flag.Int("plot-height", 20, "ASCII plot height")
-		quiet  = flag.Bool("q", false, "suppress ASCII plots on stdout")
+		figID    = flag.String("fig", "", "experiment id (fig3..fig24, table3) or 'all'")
+		scale    = flag.String("scale", "default", "tiny | default | full")
+		outDir   = flag.String("out", "results", "output directory")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		families = flag.Bool("families", false, "list registered scenario families and exit")
+		family   = flag.String("family", "", "run a registered scenario family sweep")
+		workers  = flag.Int("workers", 0, "engine worker-pool size (0 = GOMAXPROCS)")
+		plotW    = flag.Int("plot-width", 72, "ASCII plot width")
+		plotH    = flag.Int("plot-height", 20, "ASCII plot height")
+		quiet    = flag.Bool("q", false, "suppress ASCII plots on stdout")
 	)
 	flag.Parse()
 
@@ -42,10 +50,14 @@ func main() {
 		}
 		return
 	}
-	if *figID == "" {
-		fmt.Fprintln(os.Stderr, "missing -fig; use -list to see experiments")
-		os.Exit(2)
+	if *families {
+		for _, f := range scenario.Families() {
+			fmt.Printf("%-18s %s\n", f.Name, f.Doc)
+		}
+		return
 	}
+
+	exp.SetWorkers(*workers)
 
 	var sc exp.Scale
 	switch *scale {
@@ -57,6 +69,16 @@ func main() {
 		sc = exp.FullScale()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	if *family != "" {
+		runFamily(*family, sc)
+		return
+	}
+
+	if *figID == "" {
+		fmt.Fprintln(os.Stderr, "missing -fig; use -list to see experiments, -families for scenario sweeps")
 		os.Exit(2)
 	}
 
@@ -117,6 +139,51 @@ func main() {
 			fmt.Printf("%s done in %v -> %s\n", e.ID, elapsed, txtPath)
 		}
 	}
+}
+
+// runFamily expands a registered scenario family at the chosen scale
+// and prints one summary row per scenario.
+func runFamily(name string, sc exp.Scale) {
+	// Table 4's 15-minute horizon unless the scale overrides it — the
+	// same rule the synthetic figures use (exp.SynthParams.Duration).
+	duration := 900.0
+	if sc.SynthDuration > 0 {
+		duration = sc.SynthDuration
+	}
+	params := scenario.Params{
+		Tag: sc.Name, Days: sc.Days, Runs: sc.Runs, DayHours: sc.DayHours,
+		Loads: sc.SynthLoads, Nodes: 20, Duration: duration,
+	}
+	if strings.HasPrefix(name, "trace") || name == "deployment" {
+		params.Loads = sc.TraceLoads
+	}
+	scs, err := scenario.Expand(name, params)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	engine := exp.DefaultEngine()
+	start := time.Now()
+	sums := engine.Summaries(scs)
+	elapsed := time.Since(start).Round(time.Millisecond)
+
+	tbl := &report.Table{Header: []string{
+		"protocol", "load", "run", "generated", "delivered", "rate", "avg delay (s)", "within deadline",
+	}}
+	for i, s := range sums {
+		tbl.AddRow(
+			string(scs[i].Protocol),
+			report.F(scs[i].Workload.Load),
+			fmt.Sprint(scs[i].Run),
+			fmt.Sprint(s.Generated),
+			fmt.Sprint(s.Delivered),
+			report.Pct(s.DeliveryRate),
+			report.F(s.AvgDelay),
+			report.Pct(s.WithinDeadline),
+		)
+	}
+	fmt.Printf("family %s: %d scenarios on %d workers in %v\n\n", name, len(scs), engine.Workers(), elapsed)
+	fmt.Print(tbl.Render())
 }
 
 // toReportFigure converts the harness figure into the report type.

@@ -1,10 +1,15 @@
-// Command rapidsim runs one DTN simulation and prints its summary.
+// Command rapidsim runs one DTN simulation and prints its summary. The
+// flags assemble a declarative scenario value (internal/scenario) — the
+// same representation the experiment engine sweeps — so a CLI run is
+// exactly reproducible from its parameters.
 //
 // Examples:
 //
 //	rapidsim -protocol rapid -metric avg-delay -mobility exponential -load 20
-//	rapidsim -protocol maxprop -mobility dieselnet -day 3 -load 4
+//	rapidsim -protocol maxprop -mobility dieselnet -day 3 -load 4 -window 3600
 //	rapidsim -protocol rapid -metric deadline -mobility powerlaw -deadline 20
+//	rapidsim -mobility powerlaw -hetero-small 10240 -hetero-large 102400
+//	rapidsim -mobility exponential -burst-on 30 -burst-off 120 -load 40
 package main
 
 import (
@@ -12,8 +17,12 @@ import (
 	"fmt"
 	"os"
 
-	"rapid"
+	"rapid/internal/core"
 	"rapid/internal/report"
+	"rapid/internal/routing"
+	"rapid/internal/routing/optimal"
+	"rapid/internal/scenario"
+	"rapid/internal/trace"
 )
 
 func main() {
@@ -31,80 +40,123 @@ func main() {
 		pktBytes  = flag.Int64("packet", 1<<10, "packet size in bytes")
 		deadline  = flag.Float64("deadline", 0, "per-packet deadline (s); 0 = none")
 		buffer    = flag.Int64("buffer", 0, "per-node buffer bytes; 0 = unlimited")
-		seed      = flag.Int64("seed", 1, "simulation seed")
+		run       = flag.Int("run", 0, "averaging-run index; all seeds derive from it")
 		global    = flag.Bool("global-channel", false, "use the instant global control channel")
 		withOpt   = flag.Bool("optimal", false, "also run the offline optimal oracle")
+
+		heteroSmall = flag.Int64("hetero-small", 0, "small-class buffer bytes (heterogeneous buffers; 0 = uniform)")
+		heteroLarge = flag.Int64("hetero-large", 0, "large-class buffer bytes (with -hetero-small)")
+		heteroEvery = flag.Int("hetero-every", 2, "every k-th node gets the small buffer")
+		burstOn     = flag.Float64("burst-on", 0, "mean ON-burst duration (s); 0 = plain Poisson workload")
+		burstOff    = flag.Float64("burst-off", 0, "mean OFF-silence duration (s)")
 	)
 	flag.Parse()
 
-	var m rapid.Metric
+	var m scenario.Metric
 	switch *metric {
 	case "avg-delay":
-		m = rapid.MinimizeAvgDelay
+		m = core.AvgDelay
 	case "deadline":
-		m = rapid.MinimizeMissedDeadlines
+		m = core.Deadline
 	case "max-delay":
-		m = rapid.MinimizeMaxDelay
+		m = core.MaxDelay
 	default:
 		fail("unknown metric %q", *metric)
 	}
 
-	var proto rapid.Protocol
+	var proto scenario.Proto
 	switch *protoName {
 	case "rapid":
-		proto = rapid.RAPID(m)
+		proto = scenario.ProtoRapid
 	case "maxprop":
-		proto = rapid.MaxProp()
+		proto = scenario.ProtoMaxProp
 	case "spraywait":
-		proto = rapid.SprayAndWait(0)
+		proto = scenario.ProtoSprayWait
 	case "prophet":
-		proto = rapid.PRoPHET()
+		proto = scenario.ProtoProphet
 	case "random":
-		proto = rapid.Random()
+		proto = scenario.ProtoRandom
 	case "random-acks":
-		proto = rapid.RandomWithAcks()
+		proto = scenario.ProtoRandomAcks
 	case "epidemic":
-		proto = rapid.Epidemic()
+		proto = scenario.ProtoEpidemic
 	default:
 		fail("unknown protocol %q", *protoName)
 	}
 
-	var sched *rapid.Schedule
-	mc := rapid.MobilityConfig{
-		Nodes: *nodes, Duration: *duration,
-		MeanMeeting: *meeting, TransferBytes: *transfer, PowerLawAlpha: 1,
-	}
+	var sched scenario.ScheduleSpec
 	switch *mobilityM {
-	case "exponential":
-		sched = rapid.ExponentialMobility(mc, *seed)
-	case "powerlaw":
-		sched = rapid.PowerLawMobility(mc, *seed)
+	case "exponential", "powerlaw":
+		src := scenario.SourceExponential
+		if *mobilityM == "powerlaw" {
+			src = scenario.SourcePowerLaw
+		}
+		sched = scenario.ScheduleSpec{
+			Source: src, Nodes: *nodes, Duration: *duration,
+			MeanMeeting: *meeting, TransferBytes: *transfer,
+			Alpha: 1, RankSeed: 42,
+		}
 	case "dieselnet":
-		sched = rapid.DieselNetDay(rapid.DefaultDieselNet(), *day)
+		sched = scenario.ScheduleSpec{
+			Source: scenario.SourceDieselNet,
+			Diesel: trace.DefaultDieselNet(), Day: *day,
+		}
 	default:
 		fail("unknown mobility %q", *mobilityM)
 	}
 
-	w := rapid.PoissonWorkload(rapid.WorkloadConfig{
-		Nodes:                   sched.Nodes(),
-		PacketsPerWindowPerDest: *load,
-		Window:                  *window,
-		Duration:                sched.Duration,
-		PacketBytes:             *pktBytes,
-		Deadline:                *deadline,
-	}, *seed+1)
-
-	cfg := rapid.Config{BufferBytes: *buffer, Seed: *seed}
-	if *global {
-		cfg.Control = rapid.InstantGlobal
+	work := scenario.WorkloadSpec{
+		Shape: scenario.ShapePoisson, Load: *load, Window: *window,
+		PacketBytes: *pktBytes, Deadline: *deadline,
 	}
-	res := rapid.Run(sched, w, proto, cfg)
-	s := res.Summary
+	if *mobilityM != "dieselnet" {
+		work.NodeCount = *nodes
+	}
+	if *burstOn > 0 {
+		if *burstOff <= 0 {
+			fail("-burst-on requires -burst-off > 0 (bursts need silences between them)")
+		}
+		work.Shape = scenario.ShapeOnOff
+		work.OnMean, work.OffMean = *burstOn, *burstOff
+	}
+
+	var ov scenario.Overrides
+	// -global-channel upgrades every protocol that runs a control plane;
+	// control-free protocols (spraywait, prophet, random) ignore it, as
+	// they always have.
+	if *global {
+		switch proto {
+		case scenario.ProtoRapid:
+			proto = scenario.ProtoRapidGlobal
+		case scenario.ProtoMaxProp, scenario.ProtoEpidemic, scenario.ProtoRandomAcks:
+			ov.Mode, ov.ModeSet = routing.ControlGlobal, true
+		}
+	}
+	if *buffer > 0 {
+		ov.BufferBytes, ov.BufferBytesSet = *buffer, true
+	}
+	if *heteroSmall > 0 {
+		ov.Hetero = scenario.HeteroBuffers{
+			Enabled: true, SmallBytes: *heteroSmall,
+			LargeBytes: *heteroLarge, SmallEvery: *heteroEvery,
+		}
+	}
+
+	sc := scenario.Scenario{
+		Family: "cli", Tag: "rapidsim",
+		Schedule: sched, Workload: work,
+		Protocol: proto, Metric: m, Config: ov, Run: *run,
+	}
+
+	rs := sc.Materialize()
+	col := routing.Run(rs)
+	s := col.Summarize(rs.Schedule.Duration)
 
 	tbl := &report.Table{Header: []string{"metric", "value"}}
-	tbl.AddRow("protocol", proto.Name())
+	tbl.AddRow("protocol", string(proto))
 	tbl.AddRow("mobility", *mobilityM)
-	tbl.AddRow("nodes", fmt.Sprint(len(sched.Nodes())))
+	tbl.AddRow("workload", work.Shape.String())
+	tbl.AddRow("nodes", fmt.Sprint(len(rs.Schedule.Nodes())))
 	tbl.AddRow("meetings", fmt.Sprint(s.Meetings))
 	tbl.AddRow("packets generated", fmt.Sprint(s.Generated))
 	tbl.AddRow("packets delivered", fmt.Sprint(s.Delivered))
@@ -121,7 +173,7 @@ func main() {
 	fmt.Print(tbl.Render())
 
 	if *withOpt {
-		opt := rapid.Optimal(sched, w)
+		opt := optimal.Solve(rs.Schedule, rs.Workload, optimal.Options{})
 		fmt.Printf("\noffline optimal: delivery %s, avg delay incl. undelivered %ss (online: %ss)\n",
 			report.Pct(opt.DeliveryRate()), report.F(opt.AvgDelayAll()), report.F(s.AvgDelayAll))
 	}

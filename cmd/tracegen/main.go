@@ -1,8 +1,12 @@
-// Command tracegen generates synthetic DieselNet contact traces in the
-// repository's text trace format, one file per day, and can validate
-// existing trace files.
+// Command tracegen generates contact traces in the repository's text
+// trace format, one file per day, and can validate existing trace
+// files. Generation goes through the declarative schedule specs of
+// internal/scenario, so any schedule source the experiment engine can
+// sweep — DieselNet days, exponential or power-law mobility — can also
+// be exported as a trace file.
 //
 //	tracegen -days 58 -out traces/
+//	tracegen -model powerlaw -nodes 30 -duration 900 -days 5 -out traces/
 //	tracegen -validate traces/day03.trace
 package main
 
@@ -12,17 +16,23 @@ import (
 	"os"
 	"path/filepath"
 
+	"rapid/internal/scenario"
 	"rapid/internal/trace"
 )
 
 func main() {
 	var (
+		model    = flag.String("model", "dieselnet", "dieselnet | exponential | powerlaw")
 		days     = flag.Int("days", 58, "number of day traces to generate")
 		outDir   = flag.String("out", "traces", "output directory")
 		seed     = flag.Int64("seed", 1, "generator seed")
-		fleet    = flag.Int("fleet", 40, "fleet size")
-		active   = flag.Int("active", 19, "average buses on the road per day")
-		hours    = flag.Float64("hours", 19, "service hours per day")
+		fleet    = flag.Int("fleet", 40, "fleet size (dieselnet)")
+		active   = flag.Int("active", 19, "average buses on the road per day (dieselnet)")
+		hours    = flag.Float64("hours", 19, "service hours per day (dieselnet)")
+		nodes    = flag.Int("nodes", 20, "node count (synthetic models)")
+		duration = flag.Float64("duration", 900, "day length in seconds (synthetic models)")
+		meeting  = flag.Float64("mean-meeting", 60, "mean pairwise inter-meeting time (s, synthetic)")
+		transfer = flag.Int64("transfer", 100<<10, "transfer opportunity bytes (synthetic)")
 		perturb  = flag.Bool("perturb", false, "apply deployment perturbations (the Fig. 3 'Real' arm)")
 		validate = flag.String("validate", "", "validate a trace file and exit")
 	)
@@ -48,23 +58,42 @@ func main() {
 		return
 	}
 
-	cfg := trace.DefaultDieselNet()
-	cfg.Seed = *seed
-	cfg.Fleet = *fleet
-	cfg.ActivePerDay = *active
-	cfg.DayHours = *hours
-	gen := trace.NewDieselNet(cfg)
+	var spec scenario.ScheduleSpec
+	switch *model {
+	case "dieselnet":
+		cfg := trace.DefaultDieselNet()
+		cfg.Seed = *seed
+		cfg.Fleet = *fleet
+		cfg.ActivePerDay = *active
+		cfg.DayHours = *hours
+		spec = scenario.ScheduleSpec{Source: scenario.SourceDieselNet, Diesel: cfg}
+	case "exponential", "powerlaw":
+		src := scenario.SourceExponential
+		if *model == "powerlaw" {
+			src = scenario.SourcePowerLaw
+		}
+		spec = scenario.ScheduleSpec{
+			Source: src, Nodes: *nodes, Duration: *duration,
+			MeanMeeting: *meeting, TransferBytes: *transfer,
+			Alpha: 1, RankSeed: 42,
+		}
+	default:
+		fail(fmt.Errorf("unknown model %q", *model))
+	}
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fail(err)
 	}
 	for day := 0; day < *days; day++ {
-		s := gen.Day(day)
+		spec.Day = day
 		if *perturb {
 			p := trace.DefaultPerturb()
 			p.Seed = *seed + int64(day)
-			s = trace.Perturb(s, p)
+			spec.Perturb, spec.PerturbCfg = true, p
 		}
+		// Synthetic models draw day d from seed+d; DieselNet days are
+		// deterministic in (config, day).
+		s := spec.Build(*seed + int64(day))
 		name := filepath.Join(*outDir, fmt.Sprintf("day%02d.trace", day))
 		f, err := os.Create(name)
 		if err != nil {

@@ -1,0 +1,3 @@
+module rapid
+
+go 1.24

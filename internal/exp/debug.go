@@ -3,15 +3,13 @@ package exp
 import (
 	"rapid/internal/core"
 	"rapid/internal/metrics"
-	"rapid/internal/routing"
+	"rapid/internal/scenario"
 )
 
 // DebugRunTraceDay exposes a single day-run collector for diagnostics
 // and the fleet-monitor example.
 func DebugRunTraceDay(sc Scale, day int, load float64, proto Proto, metric core.Metric) *metrics.Collector {
-	p := DefaultTraceParams()
-	sched := traceDay(p, sc, day)
-	w := traceWorkload(p, sc, sched, load, int64(day)*1000^0x5ca1ab1e, true)
-	factory, cfg := arm(proto, metric, baseTraceConfig(p))
-	return routing.Run(routing.Scenario{Schedule: sched, Workload: w, Factory: factory, Cfg: cfg, Seed: int64(day)})
+	s := traceScenario(DefaultTraceParams(), sc, day, 0, load, proto, metric, scenario.Overrides{})
+	col, _ := s.Execute()
+	return col
 }

@@ -1,0 +1,246 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"rapid/internal/metrics"
+	"rapid/internal/scenario"
+)
+
+// Engine executes scenario runs across a bounded worker pool with a
+// typed, bounded summary cache. The cache key is the scenario value
+// itself — a comparable struct — so two distinct scenarios can never
+// collide (the old string-joined memo keys could, via caller-supplied
+// free text). Runs are independent and fully seeded by the scenario,
+// so results are deterministic regardless of worker count or execution
+// order.
+type Engine struct {
+	workers int
+
+	mu    sync.Mutex
+	cache map[scenario.Scenario]metrics.Summary
+	// fifo records insertion order for eviction once limit is reached.
+	fifo  []scenario.Scenario
+	limit int
+}
+
+// defaultCacheLimit bounds the summary cache. An entry (Scenario key +
+// Summary) is well under 1 KB, so the default caps memory near tens of
+// MB while retaining more than a full-scale comparison grid (12 loads ×
+// 4 protocols × 58 days × 10 runs ≈ 28k scenarios) — the population
+// Figs. 4–7 and 10–12 share arms from. Eviction only bites beyond
+// that.
+const defaultCacheLimit = 1 << 16
+
+// NewEngine returns an engine with the given pool size and cache bound.
+// workers <= 0 selects GOMAXPROCS; cacheLimit <= 0 selects the default.
+func NewEngine(workers, cacheLimit int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if cacheLimit <= 0 {
+		cacheLimit = defaultCacheLimit
+	}
+	return &Engine{
+		workers: workers,
+		cache:   make(map[scenario.Scenario]metrics.Summary),
+		limit:   cacheLimit,
+	}
+}
+
+// defaultEngine runs every figure; SetWorkers resizes it (the
+// cmd/experiments -workers flag). Not synchronized: resize before
+// launching sweeps.
+var defaultEngine = NewEngine(0, 0)
+
+// SetWorkers resizes the default engine's worker pool (n <= 0 restores
+// GOMAXPROCS) and clears its cache.
+func SetWorkers(n int) { defaultEngine = NewEngine(n, 0) }
+
+// DefaultEngine returns the engine the figures run on.
+func DefaultEngine() *Engine { return defaultEngine }
+
+// Workers reports the pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+func (e *Engine) lookup(sc scenario.Scenario) (metrics.Summary, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, ok := e.cache[sc]
+	return s, ok
+}
+
+func (e *Engine) store(sc scenario.Scenario, s metrics.Summary) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.cache[sc]; ok {
+		return
+	}
+	for len(e.cache) >= e.limit && len(e.fifo) > 0 {
+		oldest := e.fifo[0]
+		e.fifo = e.fifo[1:]
+		delete(e.cache, oldest)
+	}
+	e.cache[sc] = s
+	e.fifo = append(e.fifo, sc)
+}
+
+// CacheLen reports the number of cached summaries (for tests and the
+// cmd status line).
+func (e *Engine) CacheLen() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.cache)
+}
+
+// parallel fans f over n indices across the worker pool and waits.
+func (e *Engine) parallel(n int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := min(e.workers, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Summaries returns one summary per scenario, in input order. Cached
+// results are reused; misses run concurrently on the worker pool.
+// Duplicate scenarios within one call are computed once.
+func (e *Engine) Summaries(scs []scenario.Scenario) []metrics.Summary {
+	out := make([]metrics.Summary, len(scs))
+	need := make(map[scenario.Scenario][]int)
+	var misses []scenario.Scenario
+	for i, sc := range scs {
+		if s, ok := e.lookup(sc); ok {
+			out[i] = s
+			continue
+		}
+		if _, seen := need[sc]; !seen {
+			misses = append(misses, sc)
+		}
+		need[sc] = append(need[sc], i)
+	}
+	results := make([]metrics.Summary, len(misses))
+	e.parallel(len(misses), func(i int) { results[i] = misses[i].Summary() })
+	for i, sc := range misses {
+		e.store(sc, results[i])
+		for _, j := range need[sc] {
+			out[j] = results[i]
+		}
+	}
+	return out
+}
+
+// Average runs the scenarios and averages value over their summaries.
+func (e *Engine) Average(scs []scenario.Scenario, value func(metrics.Summary) float64) float64 {
+	if len(scs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range e.Summaries(scs) {
+		sum += value(s)
+	}
+	return sum / float64(len(scs))
+}
+
+// RunOutput is one uncached full run: the collector (per-packet
+// records, cohort fairness) plus the run horizon.
+type RunOutput struct {
+	Col     *metrics.Collector
+	Horizon float64
+}
+
+// Runs executes the scenarios concurrently and returns their full
+// collectors in input order. Collectors carry per-packet state and are
+// not cached.
+func (e *Engine) Runs(scs []scenario.Scenario) []RunOutput {
+	out := make([]RunOutput, len(scs))
+	e.parallel(len(scs), func(i int) {
+		col, horizon := scs[i].Execute()
+		out[i] = RunOutput{Col: col, Horizon: horizon}
+	})
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Figure assembly: a sweep collects (series, x, scenario-batch) points,
+// submits every run of the whole figure to the engine as one flat job
+// list — so a figure parallelizes across series, axis points, days and
+// seeds at once — and averages each batch into its series point.
+
+type sweepPoint struct {
+	series string
+	x      float64
+	value  func(metrics.Summary) float64
+	scs    []scenario.Scenario
+}
+
+type sweep struct {
+	fig    *Figure
+	points []sweepPoint
+}
+
+// newSweep starts a figure assembly.
+func newSweep(id, title, xlabel, ylabel string) *sweep {
+	return &sweep{fig: &Figure{ID: id, Title: title, XLabel: xlabel, YLabel: ylabel}}
+}
+
+// point adds one series point backed by a batch of scenario runs whose
+// value-extracted summaries are averaged.
+func (sw *sweep) point(series string, x float64, value func(metrics.Summary) float64, scs []scenario.Scenario) {
+	sw.points = append(sw.points, sweepPoint{series: series, x: x, value: value, scs: scs})
+}
+
+// run executes every point's batch on the engine and assembles the
+// figure; series appear in first-point order.
+func (sw *sweep) run(e *Engine) *Figure {
+	var all []scenario.Scenario
+	for _, p := range sw.points {
+		all = append(all, p.scs...)
+	}
+	sums := e.Summaries(all)
+	idx := make(map[string]int)
+	off := 0
+	for _, p := range sw.points {
+		var sum float64
+		for _, s := range sums[off : off+len(p.scs)] {
+			sum += p.value(s)
+		}
+		off += len(p.scs)
+		y := 0.0
+		if len(p.scs) > 0 {
+			y = sum / float64(len(p.scs))
+		}
+		i, ok := idx[p.series]
+		if !ok {
+			i = len(sw.fig.Series)
+			idx[p.series] = i
+			sw.fig.Series = append(sw.fig.Series, SeriesData{Label: p.series})
+		}
+		sw.fig.Series[i].X = append(sw.fig.Series[i].X, p.x)
+		sw.fig.Series[i].Y = append(sw.fig.Series[i].Y, y)
+	}
+	return sw.fig
+}

@@ -1,0 +1,168 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+
+	"rapid/internal/scenario"
+)
+
+// engineGrid expands a small registry family: 2 loads × 2 protocols ×
+// 2 runs = 8 scenarios, each well under 100 ms.
+func engineGrid(tag string) []scenario.Scenario {
+	p := scenario.Params{
+		Tag: tag, Runs: 2, Loads: []float64{10, 40},
+		Protocols: []scenario.Proto{ProtoRapid, ProtoRandom},
+		Nodes:     8, Duration: 120,
+	}
+	scs, err := scenario.Expand("synth-exponential", p)
+	if err != nil {
+		panic(err)
+	}
+	return scs
+}
+
+// TestParallelMatchesSerial: a registry-family sweep on a parallel
+// engine produces summaries identical to the serial path — both a
+// 1-worker engine and direct scenario execution.
+func TestParallelMatchesSerial(t *testing.T) {
+	grid := engineGrid("par-vs-serial")
+	par := NewEngine(8, 0).Summaries(grid)
+	ser := NewEngine(1, 0).Summaries(grid)
+	if !reflect.DeepEqual(par, ser) {
+		t.Fatal("parallel engine and 1-worker engine disagree")
+	}
+	for i, sc := range grid {
+		if direct := sc.Summary(); !reflect.DeepEqual(par[i], direct) {
+			t.Fatalf("scenario %d: engine %+v != direct %+v", i, par[i], direct)
+		}
+	}
+}
+
+// TestSummariesOrderPreserved: results line up with the input order
+// regardless of completion order.
+func TestSummariesOrderPreserved(t *testing.T) {
+	grid := engineGrid("order")
+	e := NewEngine(4, 0)
+	got := e.Summaries(grid)
+	if len(got) != len(grid) {
+		t.Fatalf("got %d summaries for %d scenarios", len(got), len(grid))
+	}
+	for i, sc := range grid {
+		if cached, ok := e.lookup(sc); !ok || !reflect.DeepEqual(cached, got[i]) {
+			t.Fatalf("position %d does not hold its scenario's summary", i)
+		}
+	}
+}
+
+// TestCacheHitAndDedup: a repeated scenario is computed once per engine
+// and served from cache afterwards.
+func TestCacheHitAndDedup(t *testing.T) {
+	sc := engineGrid("dedup")[0]
+	e := NewEngine(4, 0)
+	out := e.Summaries([]scenario.Scenario{sc, sc, sc, sc})
+	for i := 1; i < len(out); i++ {
+		if !reflect.DeepEqual(out[0], out[i]) {
+			t.Fatal("duplicate scenarios returned different summaries")
+		}
+	}
+	if n := e.CacheLen(); n != 1 {
+		t.Fatalf("cache holds %d entries for one unique scenario", n)
+	}
+	again := e.Summaries([]scenario.Scenario{sc})
+	if !reflect.DeepEqual(again[0], out[0]) {
+		t.Fatal("cache served a different summary")
+	}
+	if n := e.CacheLen(); n != 1 {
+		t.Fatalf("cache grew to %d on a pure hit", n)
+	}
+}
+
+// TestCacheBounded: the cache evicts oldest entries at its limit
+// instead of growing without bound (the old global sync.Map never
+// evicted).
+func TestCacheBounded(t *testing.T) {
+	grid := engineGrid("bounded")
+	e := NewEngine(2, 3)
+	e.Summaries(grid)
+	if n := e.CacheLen(); n > 3 {
+		t.Fatalf("cache holds %d entries, limit 3", n)
+	}
+	// The newest entry must still be resident.
+	if _, ok := e.lookup(grid[len(grid)-1]); !ok {
+		t.Fatal("newest entry evicted")
+	}
+}
+
+// TestAverage: Average equals the mean of Summaries.
+func TestAverage(t *testing.T) {
+	grid := engineGrid("avg")[:3]
+	e := NewEngine(2, 0)
+	var want float64
+	for _, s := range e.Summaries(grid) {
+		want += s.DeliveryRate
+	}
+	want /= float64(len(grid))
+	if got := e.Average(grid, deliveryRate); got != want {
+		t.Fatalf("Average = %v, want %v", got, want)
+	}
+	if got := e.Average(nil, deliveryRate); got != 0 {
+		t.Fatalf("Average of empty set = %v, want 0", got)
+	}
+}
+
+// TestRunsParallelCollectors: full-collector runs preserve order and
+// horizons.
+func TestRunsParallelCollectors(t *testing.T) {
+	grid := engineGrid("runs")[:2]
+	outs := NewEngine(4, 0).Runs(grid)
+	if len(outs) != 2 {
+		t.Fatalf("got %d outputs", len(outs))
+	}
+	for i, o := range outs {
+		if o.Col == nil {
+			t.Fatalf("run %d: nil collector", i)
+		}
+		if o.Horizon != grid[i].Schedule.Duration {
+			t.Fatalf("run %d: horizon %v, want %v", i, o.Horizon, grid[i].Schedule.Duration)
+		}
+		if !reflect.DeepEqual(o.Col.Summarize(o.Horizon), grid[i].Summary()) {
+			t.Fatalf("run %d: collector disagrees with direct execution", i)
+		}
+	}
+}
+
+// TestFigureParallelMatchesSerial: a whole figure regenerated on a
+// parallel engine equals the 1-worker regeneration (the registry-level
+// guarantee the figures depend on).
+func TestFigureParallelMatchesSerial(t *testing.T) {
+	sc := TinyScale()
+	sc.Name = "tiny-parallel-check"
+	saved := defaultEngine
+	defer func() { defaultEngine = saved }()
+
+	defaultEngine = NewEngine(1, 0)
+	serial := Fig5(sc)
+	defaultEngine = NewEngine(8, 0)
+	parallel := Fig5(sc)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("Fig5 differs between serial and parallel engines")
+	}
+}
+
+// TestSweepSeriesOrder: series appear in first-point insertion order
+// and carry one point per x.
+func TestSweepSeriesOrder(t *testing.T) {
+	grid := engineGrid("sweep")
+	sw := newSweep("id", "t", "x", "y")
+	sw.point("b", 1, deliveryRate, grid[:1])
+	sw.point("a", 1, deliveryRate, grid[1:2])
+	sw.point("b", 2, deliveryRate, grid[2:3])
+	fig := sw.run(NewEngine(2, 0))
+	if len(fig.Series) != 2 || fig.Series[0].Label != "b" || fig.Series[1].Label != "a" {
+		t.Fatalf("series order wrong: %+v", fig.Series)
+	}
+	if len(fig.Series[0].X) != 2 || len(fig.Series[1].X) != 1 {
+		t.Fatalf("series lengths wrong: %+v", fig.Series)
+	}
+}

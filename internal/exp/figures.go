@@ -2,14 +2,12 @@ package exp
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 
 	"rapid/internal/core"
 	"rapid/internal/metrics"
-	"rapid/internal/packet"
-	"rapid/internal/routing"
 	"rapid/internal/routing/optimal"
+	"rapid/internal/scenario"
 	"rapid/internal/stat"
 )
 
@@ -95,16 +93,14 @@ func ByID(id string) (Experiment, bool) {
 // traceComparison sweeps the load axis for the comparison set.
 func traceComparison(sc Scale, metric core.Metric, value func(metrics.Summary) float64, id, title, ylabel string) Output {
 	p := DefaultTraceParams()
-	fig := &Figure{ID: id, Title: title, XLabel: "packets generated per hour per destination", YLabel: ylabel}
+	sw := newSweep(id, title, "packets generated per hour per destination", ylabel)
 	for _, proto := range ComparisonSet() {
-		s := SeriesData{Label: string(proto)}
 		for _, load := range sc.TraceLoads {
-			s.X = append(s.X, load)
-			s.Y = append(s.Y, avgTrace(p, sc, load, proto, metric, "", nil, value))
+			sw.point(string(proto), load, value,
+				traceGrid(p, sc, load, proto, metric, scenario.Overrides{}))
 		}
-		fig.Series = append(fig.Series, s)
 	}
-	return Output{Figure: fig}
+	return Output{Figure: sw.run(defaultEngine)}
 }
 
 // Fig4 reproduces Figure 4 (average delay of delivered packets).
@@ -142,32 +138,27 @@ func Fig7(sc Scale) Output {
 // end) and is called out in the notes.
 func Fig8(sc Scale) Output {
 	p := DefaultTraceParams()
-	fig := &Figure{
-		ID: "fig8", Title: "Control channel benefit (trace)",
-		XLabel: "metadata cap (fraction of opportunity; 0.4 = unlimited)",
-		YLabel: "avg delay (min)",
-	}
 	loads := []float64{6, 12, 20}
 	if sc.Name == "tiny" {
 		loads = []float64{6}
 	}
+	sw := newSweep("fig8", "Control channel benefit (trace)",
+		"metadata cap (fraction of opportunity; 0.4 = unlimited)", "avg delay (min)")
 	for _, load := range loads {
-		s := SeriesData{Label: fmt.Sprintf("load %g/hour/destination", load)}
+		label := fmt.Sprintf("load %g/hour/destination", load)
 		for _, frac := range sc.MetaFractions {
 			x := frac
 			if frac < 0 {
 				x = 0.4
 			}
-			frac := frac
-			y := avgTrace(p, sc, load, ProtoRapid, core.AvgDelay,
-				fmt.Sprintf("meta=%g", frac),
-				func(c *routing.Config) { c.MetaFraction = frac },
-				avgDelayMin)
-			s.X = append(s.X, x)
-			s.Y = append(s.Y, y)
+			ov := scenario.Overrides{MetaFraction: frac, MetaFractionSet: true}
+			sw.point(label, x, avgDelayMin,
+				traceGrid(p, sc, load, ProtoRapid, core.AvgDelay, ov))
 		}
-		sortSeries(&s)
-		fig.Series = append(fig.Series, s)
+	}
+	fig := sw.run(defaultEngine)
+	for i := range fig.Series {
+		sortSeries(&fig.Series[i])
 	}
 	return Output{Figure: fig, Notes: []string{
 		"x = 0.4 is the unlimited-metadata arm (paper: best performance with no restriction)",
@@ -181,43 +172,32 @@ func Fig9(sc Scale) Output {
 	loads := append(append([]float64{}, sc.TraceLoads...),
 		sc.TraceLoads[len(sc.TraceLoads)-1]*1.4,
 		sc.TraceLoads[len(sc.TraceLoads)-1]*1.875)
-	fig := &Figure{
-		ID: "fig9", Title: "Channel utilization (trace)",
-		XLabel: "packets generated per hour per destination",
-		YLabel: "fraction",
-	}
-	util := SeriesData{Label: "% channel utilization"}
-	meta := SeriesData{Label: "Meta information/RAPID data"}
-	rate := SeriesData{Label: "Delivery rate"}
+	sw := newSweep("fig9", "Channel utilization (trace)",
+		"packets generated per hour per destination", "fraction")
 	for _, load := range loads {
-		util.X = append(util.X, load)
-		meta.X = append(meta.X, load)
-		rate.X = append(rate.X, load)
-		util.Y = append(util.Y, avgTrace(p, sc, load, ProtoRapid, core.AvgDelay, "", nil, channelUtilization))
-		meta.Y = append(meta.Y, avgTrace(p, sc, load, ProtoRapid, core.AvgDelay, "", nil, metaOverData))
-		rate.Y = append(rate.Y, avgTrace(p, sc, load, ProtoRapid, core.AvgDelay, "", nil, deliveryRate))
+		grid := traceGrid(p, sc, load, ProtoRapid, core.AvgDelay, scenario.Overrides{})
+		sw.point("Meta information/RAPID data", load, metaOverData, grid)
+		sw.point("% channel utilization", load, channelUtilization, grid)
+		sw.point("Delivery rate", load, deliveryRate, grid)
 	}
-	fig.Series = []SeriesData{meta, util, rate}
-	return Output{Figure: fig}
+	return Output{Figure: sw.run(defaultEngine)}
 }
 
 // globalVsInBand powers Figs. 10–12.
 func globalVsInBand(sc Scale, metric core.Metric, value func(metrics.Summary) float64, id, title, ylabel string) Output {
 	p := DefaultTraceParams()
-	fig := &Figure{ID: id, Title: title, XLabel: "packets generated per hour per destination", YLabel: ylabel}
+	sw := newSweep(id, title, "packets generated per hour per destination", ylabel)
 	for _, proto := range []Proto{ProtoRapid, ProtoRapidGlobal} {
 		label := "In-band control channel"
 		if proto == ProtoRapidGlobal {
 			label = "Instant global control channel"
 		}
-		s := SeriesData{Label: label}
 		for _, load := range sc.TraceLoads {
-			s.X = append(s.X, load)
-			s.Y = append(s.Y, avgTrace(p, sc, load, proto, metric, "", nil, value))
+			sw.point(label, load, value,
+				traceGrid(p, sc, load, proto, metric, scenario.Overrides{}))
 		}
-		fig.Series = append(fig.Series, s)
 	}
-	return Output{Figure: fig}
+	return Output{Figure: sw.run(defaultEngine)}
 }
 
 // Fig10 reproduces Figure 10 (average delay, hybrid DTN).
@@ -245,13 +225,11 @@ func Fig12(sc Scale) Output {
 // packets for Optimal, RAPID (both channels) and MaxProp at small
 // loads. The offline oracle substitutes for the paper's CPLEX ILP
 // (cross-checked in internal/routing/optimal's tests; see DESIGN.md).
+// The oracle shares the online arms' materialized schedules and
+// workloads, so the bound is computed on exactly the traffic RAPID
+// routed.
 func Fig13(sc Scale) Output {
 	p := DefaultTraceParams()
-	fig := &Figure{
-		ID: "fig13", Title: "Comparison with Optimal (trace, small loads)",
-		XLabel: "packets generated per hour per destination",
-		YLabel: "avg delay incl. undelivered (min)",
-	}
 	arms := []struct {
 		label string
 		proto Proto
@@ -260,29 +238,46 @@ func Fig13(sc Scale) Output {
 		{"Rapid: In-band control channel", ProtoRapid},
 		{"Maxprop", ProtoMaxProp},
 	}
-	optSeries := SeriesData{Label: "Optimal"}
+
+	// Offline oracle, one solve per (load, day), fanned across the pool.
+	type optJob struct {
+		load float64
+		day  int
+	}
+	var jobs []optJob
 	for _, load := range sc.OptimalLoads {
-		var sum float64
-		var n int
 		for day := 0; day < sc.Days; day++ {
-			sched := traceDay(p, sc, day)
-			w := traceWorkload(p, sc, sched, load, int64(day)*1000^0x5ca1ab1e, true)
-			res := optimal.Solve(sched, w, optimal.Options{})
-			sum += res.AvgDelayAll() / 60
-			n++
+			jobs = append(jobs, optJob{load, day})
+		}
+	}
+	delays := make([]float64, len(jobs))
+	defaultEngine.parallel(len(jobs), func(i int) {
+		s := traceScenario(p, sc, jobs[i].day, 0, jobs[i].load,
+			ProtoRapid, core.AvgDelay, scenario.Overrides{})
+		rs := s.Materialize()
+		delays[i] = optimal.Solve(rs.Schedule, rs.Workload, optimal.Options{}).AvgDelayAll() / 60
+	})
+	optSeries := SeriesData{Label: "Optimal"}
+	for i, load := range sc.OptimalLoads {
+		var sum float64
+		for d := 0; d < sc.Days; d++ {
+			sum += delays[i*sc.Days+d]
 		}
 		optSeries.X = append(optSeries.X, load)
-		optSeries.Y = append(optSeries.Y, sum/float64(n))
+		optSeries.Y = append(optSeries.Y, sum/float64(sc.Days))
 	}
-	fig.Series = append(fig.Series, optSeries)
+
+	sw := newSweep("fig13", "Comparison with Optimal (trace, small loads)",
+		"packets generated per hour per destination",
+		"avg delay incl. undelivered (min)")
 	for _, a := range arms {
-		s := SeriesData{Label: a.label}
 		for _, load := range sc.OptimalLoads {
-			s.X = append(s.X, load)
-			s.Y = append(s.Y, avgTrace(p, sc, load, a.proto, core.AvgDelay, "", nil, avgDelayAllMin))
+			sw.point(a.label, load, avgDelayAllMin,
+				traceGrid(p, sc, load, a.proto, core.AvgDelay, scenario.Overrides{}))
 		}
-		fig.Series = append(fig.Series, s)
 	}
+	fig := sw.run(defaultEngine)
+	fig.Series = append([]SeriesData{optSeries}, fig.Series...)
 	return Output{Figure: fig, Notes: []string{
 		"Optimal is the offline earliest-arrival oracle with capacity reservation (single-copy, like the paper's ILP); exact-ILP cross-checks live in internal/routing/optimal tests",
 	}}
@@ -292,21 +287,15 @@ func Fig13(sc Scale) Output {
 // full RAPID.
 func Fig14(sc Scale) Output {
 	p := DefaultTraceParams()
-	fig := &Figure{
-		ID: "fig14", Title: "RAPID component ablation (trace)",
-		XLabel: "packets generated per hour per destination",
-		YLabel: "avg delay (min)",
-	}
-	arms := []Proto{ProtoRapid, ProtoRapidLocal, ProtoRandomAcks, ProtoRandom}
-	for _, proto := range arms {
-		s := SeriesData{Label: string(proto)}
+	sw := newSweep("fig14", "RAPID component ablation (trace)",
+		"packets generated per hour per destination", "avg delay (min)")
+	for _, proto := range []Proto{ProtoRapid, ProtoRapidLocal, ProtoRandomAcks, ProtoRandom} {
 		for _, load := range sc.TraceLoads {
-			s.X = append(s.X, load)
-			s.Y = append(s.Y, avgTrace(p, sc, load, proto, core.AvgDelay, "", nil, avgDelayMin))
+			sw.point(string(proto), load, avgDelayMin,
+				traceGrid(p, sc, load, proto, core.AvgDelay, scenario.Overrides{}))
 		}
-		fig.Series = append(fig.Series, s)
 	}
-	return Output{Figure: fig}
+	return Output{Figure: sw.run(defaultEngine)}
 }
 
 // Fig15 reproduces Figure 15: the CDF of Jain's fairness index over
@@ -318,28 +307,13 @@ func Fig15(sc Scale) Output {
 		XLabel: "fairness index", YLabel: "CDF of cohorts",
 	}
 	for _, parallel := range []int{20, 30} {
+		scs := make([]scenario.Scenario, sc.Days)
+		for day := range scs {
+			scs[day] = fairnessScenario(p, sc, day, parallel)
+		}
 		var indices []float64
-		for day := 0; day < sc.Days; day++ {
-			sched := traceDay(p, sc, day)
-			nodes := sched.Nodes()
-			r := rand.New(rand.NewSource(int64(day)*17 + int64(parallel)))
-			// Background load keeps resources contended (§6.2.5 used
-			// 60 packets/hour/node); cohorts ride on top.
-			bg := traceWorkload(p, sc, sched, 10, int64(day)+99, false)
-			cohorts := packet.GenerateParallel(nodes, 8, parallel,
-				sched.Duration/10, p.PacketBytes, r)
-			// Re-ID cohorts above the background range.
-			for i, cp := range cohorts {
-				cp.ID = packet.ID(1_000_000 + i)
-			}
-			w := append(append(packet.Workload{}, bg...), cohorts...)
-			w.Sort()
-			factory, cfg := arm(ProtoRapid, core.AvgDelay, baseTraceConfig(p))
-			col := routing.Run(routing.Scenario{
-				Schedule: sched, Workload: w, Factory: factory, Cfg: cfg,
-				Seed: int64(day),
-			})
-			indices = append(indices, col.CohortFairness(sched.Duration)...)
+		for _, r := range defaultEngine.Runs(scs) {
+			indices = append(indices, r.Col.CohortFairness(r.Horizon)...)
 		}
 		sort.Float64s(indices)
 		ecdf := stat.NewECDF(indices)
@@ -358,20 +332,14 @@ func Fig15(sc Scale) Output {
 // synthComparison sweeps the load axis under a mobility model.
 func synthComparison(sc Scale, model string, metric core.Metric, value func(metrics.Summary) float64, id, title, ylabel string) Output {
 	p := DefaultSynthParams()
-	fig := &Figure{
-		ID: id, Title: title,
-		XLabel: "packets generated per 50 s per destination",
-		YLabel: ylabel,
-	}
+	sw := newSweep(id, title, "packets generated per 50 s per destination", ylabel)
 	for _, proto := range ComparisonSet() {
-		s := SeriesData{Label: string(proto)}
 		for _, load := range sc.SynthLoads {
-			s.X = append(s.X, load)
-			s.Y = append(s.Y, avgSynth(p, sc, model, load, proto, metric, "", nil, value))
+			sw.point(string(proto), load, value,
+				synthGrid(p, sc, model, load, proto, metric, scenario.Overrides{}))
 		}
-		fig.Series = append(fig.Series, s)
 	}
-	return Output{Figure: fig}
+	return Output{Figure: sw.run(defaultEngine)}
 }
 
 // Fig16 reproduces Figure 16 (power-law average delay).
@@ -397,21 +365,15 @@ func Fig18(sc Scale) Output {
 func synthBufferSweep(sc Scale, metric core.Metric, value func(metrics.Summary) float64, id, title, ylabel string) Output {
 	p := DefaultSynthParams()
 	const load = 20 // Table 4 / §6.3.2: 20 packets per destination
-	fig := &Figure{ID: id, Title: title, XLabel: "available storage (KB)", YLabel: ylabel}
+	sw := newSweep(id, title, "available storage (KB)", ylabel)
 	for _, proto := range ComparisonSet() {
-		s := SeriesData{Label: string(proto)}
 		for _, buf := range sc.Buffers {
-			buf := buf
-			y := avgSynth(p, sc, "powerlaw", load, proto, metric,
-				fmt.Sprintf("buf=%d", buf),
-				func(c *routing.Config) { c.BufferBytes = buf },
-				value)
-			s.X = append(s.X, float64(buf>>10))
-			s.Y = append(s.Y, y)
+			ov := scenario.Overrides{BufferBytes: buf, BufferBytesSet: true}
+			sw.point(string(proto), float64(buf>>10), value,
+				synthGrid(p, sc, "powerlaw", load, proto, metric, ov))
 		}
-		fig.Series = append(fig.Series, s)
 	}
-	return Output{Figure: fig}
+	return Output{Figure: sw.run(defaultEngine)}
 }
 
 // Fig19 reproduces Figure 19 (power-law avg delay vs buffer).
@@ -464,11 +426,4 @@ func sortSeries(s *SeriesData) {
 		ny[i] = s.Y[j]
 	}
 	s.X, s.Y = nx, ny
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

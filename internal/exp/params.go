@@ -7,6 +7,7 @@ package exp
 
 import (
 	"rapid/internal/routing"
+	"rapid/internal/scenario"
 	"rapid/internal/trace"
 )
 
@@ -38,7 +39,7 @@ func DefaultTraceParams() TraceParams {
 		BufferBytes:     0, // 40 GB never filled in deployment
 		DeadlineSeconds: 2.7 * 3600,
 		LoadWindow:      3600,
-		DefaultLoad:     4,
+		DefaultLoad:     scenario.DefaultTraceLoad,
 	}
 }
 

@@ -3,64 +3,30 @@ package exp
 import (
 	"rapid/internal/core"
 	"rapid/internal/routing"
-	"rapid/internal/routing/maxprop"
-	"rapid/internal/routing/prophet"
-	"rapid/internal/routing/randomw"
-	"rapid/internal/routing/spraywait"
+	"rapid/internal/scenario"
 )
 
-// Proto identifies a protocol arm of a comparison figure.
-type Proto string
+// Proto re-exports the scenario layer's protocol identifier; the
+// figures and benchmarks speak in these names.
+type Proto = scenario.Proto
 
-// The protocol arms of §6.1's comparison set. RAPID's metric variant is
-// chosen per figure; the baselines are metric-agnostic.
+// The protocol arms of §6.1's comparison set (see internal/scenario).
 const (
-	ProtoRapid       Proto = "Rapid"
-	ProtoRapidLocal  Proto = "Rapid: Local"
-	ProtoRapidGlobal Proto = "Rapid: Instant global"
-	ProtoMaxProp     Proto = "MaxProp"
-	ProtoSprayWait   Proto = "Spray and Wait"
-	ProtoProphet     Proto = "Prophet"
-	ProtoRandom      Proto = "Random"
-	ProtoRandomAcks  Proto = "Random: With Acks"
+	ProtoRapid       = scenario.ProtoRapid
+	ProtoRapidLocal  = scenario.ProtoRapidLocal
+	ProtoRapidGlobal = scenario.ProtoRapidGlobal
+	ProtoMaxProp     = scenario.ProtoMaxProp
+	ProtoSprayWait   = scenario.ProtoSprayWait
+	ProtoProphet     = scenario.ProtoProphet
+	ProtoRandom      = scenario.ProtoRandom
+	ProtoRandomAcks  = scenario.ProtoRandomAcks
+	ProtoEpidemic    = scenario.ProtoEpidemic
 )
 
-// ComparisonSet is the four-protocol lineup of the headline figures
-// (Prophet "performed worse than the three routing protocols for all
-// loads and all metrics" and is omitted from the paper's graphs for
-// clarity — it stays available via its own Proto).
-func ComparisonSet() []Proto {
-	return []Proto{ProtoRapid, ProtoMaxProp, ProtoSprayWait, ProtoRandom}
-}
+// ComparisonSet is the four-protocol lineup of the headline figures.
+func ComparisonSet() []Proto { return scenario.ComparisonSet() }
 
 // arm builds the router factory and config adjustments for a protocol.
 func arm(p Proto, metric core.Metric, base routing.Config) (routing.RouterFactory, routing.Config) {
-	cfg := base
-	switch p {
-	case ProtoRapid:
-		return core.New(metric), cfg
-	case ProtoRapidLocal:
-		cfg.LocalOnlyMeta = true
-		return core.New(metric), cfg
-	case ProtoRapidGlobal:
-		cfg.Mode = routing.ControlGlobal
-		return core.New(metric), cfg
-	case ProtoMaxProp:
-		cfg.AcksOnly = true
-		return maxprop.New(), cfg
-	case ProtoSprayWait:
-		cfg.Mode = routing.ControlNone
-		return spraywait.New(spraywait.DefaultL), cfg
-	case ProtoProphet:
-		cfg.Mode = routing.ControlNone
-		return prophet.New(prophet.DefaultParams()), cfg
-	case ProtoRandom:
-		cfg.Mode = routing.ControlNone
-		return randomw.New(), cfg
-	case ProtoRandomAcks:
-		cfg.AcksOnly = true
-		return randomw.New(), cfg
-	default:
-		panic("exp: unknown protocol " + string(p))
-	}
+	return scenario.Arm(p, metric, base)
 }

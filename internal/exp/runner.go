@@ -1,189 +1,118 @@
 package exp
 
 import (
-	"fmt"
-	"math/rand"
-	"sync"
-
 	"rapid/internal/core"
 	"rapid/internal/metrics"
-	"rapid/internal/mobility"
-	"rapid/internal/packet"
-	"rapid/internal/routing"
-	"rapid/internal/trace"
+	"rapid/internal/scenario"
 )
 
-// memo caches day-run summaries across figures: Figs. 4 and 5 read the
-// same sweep, Figs. 10–12 share arms with 4/7, and so on. Keys include
-// the scale name, so mixed-scale processes stay correct.
-var memo sync.Map
+// This file turns (params, scale) experiment coordinates into scenario
+// values. All execution flows through the Engine (engine.go): the
+// figures assemble scenario grids here and submit them as one flat job
+// list, replacing the old one-point-at-a-time serial loops and their
+// stringly-keyed sync.Map memo.
 
-func memoKey(sc Scale, day, run int, load float64, proto Proto, metric core.Metric, modKey string) string {
-	return fmt.Sprintf("%s|%d|%d|%g|%s|%d|%s", sc.Name, day, run, load, proto, metric, modKey)
+// traceScenario builds the clean DieselNet scenario for one
+// (day, run, load, protocol) coordinate.
+func traceScenario(p TraceParams, sc Scale, day, run int, load float64, proto Proto, metric core.Metric, ov scenario.Overrides) scenario.Scenario {
+	if p.BufferBytes > 0 && !ov.BufferBytesSet {
+		ov.BufferBytes = p.BufferBytes
+		ov.BufferBytesSet = true
+	}
+	return scenario.Scenario{
+		Family: "trace", Tag: sc.Name,
+		Schedule: scenario.ScheduleSpec{
+			Source: scenario.SourceDieselNet, Diesel: p.Diesel,
+			Day: day, DayHours: sc.DayHours,
+		},
+		Workload: scenario.WorkloadSpec{
+			Shape: scenario.ShapePoisson, Load: load, Window: p.LoadWindow,
+			PacketBytes: p.PacketBytes, Deadline: p.DeadlineSeconds,
+		},
+		Protocol: proto,
+		Metric:   scenario.NormalizeMetric(proto, metric),
+		Config:   ov,
+		Run:      run,
+	}
 }
 
-// traceDay builds one DieselNet day schedule, shortened to the scale's
-// DayHours.
-func traceDay(p TraceParams, sc Scale, day int) *trace.Schedule {
-	cfg := p.Diesel
-	if sc.DayHours > 0 {
-		cfg.DayHours = sc.DayHours
-	}
-	return trace.NewDieselNet(cfg).Day(day)
-}
-
-// traceWorkload draws the day's Poisson workload over the day's active
-// buses ("The destinations of the packets included only buses that were
-// scheduled to be on the road", §5.1).
-func traceWorkload(p TraceParams, sc Scale, sched *trace.Schedule, load float64, seed int64, deadline bool) packet.Workload {
-	gc := packet.GenConfig{
-		Nodes:                 sched.Nodes(),
-		PacketsPerHourPerDest: load,
-		LoadWindow:            p.LoadWindow,
-		Duration:              sched.Duration,
-		PacketSize:            p.PacketBytes,
-		FirstID:               1,
-	}
-	if deadline {
-		gc.Deadline = p.DeadlineSeconds
-	}
-	return packet.Generate(gc, rand.New(rand.NewSource(seed)))
-}
-
-// runTraceDay executes one protocol over one day at one load and
-// returns the summary. The cfgMod hook lets figures tweak the runtime
-// config (metadata caps, global channel).
-func runTraceDay(p TraceParams, sc Scale, day, run int, load float64, proto Proto, metric core.Metric, cfgMod func(*routing.Config)) metrics.Summary {
-	sched := traceDay(p, sc, day)
-	seed := int64(day)*1000 + int64(run)
-	w := traceWorkload(p, sc, sched, load, seed^0x5ca1ab1e, true)
-	factory, cfg := arm(proto, metric, baseTraceConfig(p))
-	if cfgMod != nil {
-		cfgMod(&cfg)
-	}
-	col := routing.Run(routing.Scenario{
-		Schedule: sched, Workload: w, Factory: factory, Cfg: cfg, Seed: seed,
-	})
-	return col.Summarize(sched.Duration)
-}
-
-// avgTrace averages a summary-derived value over the scale's days and
-// runs. Each day is a separate experiment, as in §6.1 ("Each of the 58
-// days is a separate experiment ... packets that are not delivered by
-// the end of the day are lost"). modKey must uniquely identify cfgMod's
-// effect for memoization.
-func avgTrace(p TraceParams, sc Scale, load float64, proto Proto, metric core.Metric,
-	modKey string, cfgMod func(*routing.Config), value func(metrics.Summary) float64) float64 {
-	metric = normalizeMetric(proto, metric)
-	var sum float64
-	var n int
+// traceGrid expands the scale's day×run grid for one experiment point.
+func traceGrid(p TraceParams, sc Scale, load float64, proto Proto, metric core.Metric, ov scenario.Overrides) []scenario.Scenario {
+	out := make([]scenario.Scenario, 0, sc.Days*sc.Runs)
 	for day := 0; day < sc.Days; day++ {
 		for run := 0; run < sc.Runs; run++ {
-			key := memoKey(sc, day, run, load, proto, metric, modKey)
-			var s metrics.Summary
-			if v, ok := memo.Load(key); ok {
-				s = v.(metrics.Summary)
-			} else {
-				s = runTraceDay(p, sc, day, run, load, proto, metric, cfgMod)
-				memo.Store(key, s)
-			}
-			sum += value(s)
-			n++
+			out = append(out, traceScenario(p, sc, day, run, load, proto, metric, ov))
 		}
 	}
-	if n == 0 {
-		return 0
-	}
-	return sum / float64(n)
+	return out
 }
 
-// synthSchedule draws a synthetic-mobility schedule.
-func synthSchedule(p SynthParams, model string, seed int64) *trace.Schedule {
-	cfg := mobility.Config{
-		Nodes:         p.Nodes,
-		Duration:      p.Duration,
-		MeanMeeting:   p.MeanMeeting,
-		TransferBytes: p.TransferBytes,
-		Jitter:        true,
-	}
-	r := rand.New(rand.NewSource(seed))
-	switch model {
-	case "powerlaw":
-		return mobility.PowerLaw{
-			Config: cfg, Alpha: p.PowerLawAlpha,
-			Ranks: mobility.RandomRanks(p.Nodes, rand.New(rand.NewSource(42))),
-		}.Schedule(r)
-	default:
-		return mobility.Exponential{Config: cfg}.Schedule(r)
-	}
+// deployScenario builds the "Real" arm: the perturbed schedule standing
+// in for the physical deployment (Table 3, Fig. 3).
+func deployScenario(p TraceParams, sc Scale, day int) scenario.Scenario {
+	s := scenario.Deployment(sc.Name, day, sc.DayHours, p.DefaultLoad)
+	s.Schedule.Diesel = p.Diesel
+	s.Workload.Window = p.LoadWindow
+	s.Workload.PacketBytes = p.PacketBytes
+	s.Workload.Deadline = p.DeadlineSeconds
+	return s
 }
 
-// synthWorkload draws the synthetic workload. The load axis is packets
-// per LoadWindow per destination aggregated over sources, so the
-// per-ordered-pair rate is load/(N-1) (see DESIGN.md §7).
-func synthWorkload(p SynthParams, load float64, seed int64) packet.Workload {
-	nodes := make([]packet.NodeID, p.Nodes)
-	for i := range nodes {
-		nodes[i] = packet.NodeID(i)
+// synthScenario builds one synthetic-mobility scenario. model is a
+// mobility registry name ("exponential" or "powerlaw").
+func synthScenario(p SynthParams, sc Scale, model string, run int, load float64, proto Proto, metric core.Metric, ov scenario.Overrides) scenario.Scenario {
+	src := scenario.SourceExponential
+	if model == "powerlaw" {
+		src = scenario.SourcePowerLaw
 	}
-	return packet.Generate(packet.GenConfig{
-		Nodes:                 nodes,
-		PacketsPerHourPerDest: load / float64(p.Nodes-1),
-		LoadWindow:            p.LoadWindow,
-		Duration:              p.Duration,
-		PacketSize:            p.PacketBytes,
-		Deadline:              p.DeadlineSeconds,
-		FirstID:               1,
-	}, rand.New(rand.NewSource(seed)))
-}
-
-// runSynth executes one synthetic run.
-func runSynth(p SynthParams, model string, run int, load float64, proto Proto, metric core.Metric, cfgMod func(*routing.Config)) metrics.Summary {
-	seed := int64(run + 1)
-	sched := synthSchedule(p, model, seed*31)
-	w := synthWorkload(p, load, seed*77)
-	factory, cfg := arm(proto, metric, baseSynthConfig(p))
-	if cfgMod != nil {
-		cfgMod(&cfg)
-	}
-	col := routing.Run(routing.Scenario{
-		Schedule: sched, Workload: w, Factory: factory, Cfg: cfg, Seed: seed,
-	})
-	return col.Summarize(sched.Duration)
-}
-
-// normalizeMetric collapses the metric dimension for metric-agnostic
-// baselines so their runs are shared across Figs. 4/6/7 (etc.) via the
-// memo.
-func normalizeMetric(proto Proto, metric core.Metric) core.Metric {
-	switch proto {
-	case ProtoRapid, ProtoRapidLocal, ProtoRapidGlobal:
-		return metric
-	default:
-		return core.AvgDelay
-	}
-}
-
-// avgSynth averages over the scale's runs, memoized like avgTrace.
-func avgSynth(p SynthParams, sc Scale, model string, load float64, proto Proto, metric core.Metric,
-	modKey string, cfgMod func(*routing.Config), value func(metrics.Summary) float64) float64 {
-	metric = normalizeMetric(proto, metric)
+	duration := p.Duration
 	if sc.SynthDuration > 0 {
-		p.Duration = sc.SynthDuration
+		duration = sc.SynthDuration
 	}
-	var sum float64
+	if p.BufferBytes > 0 && !ov.BufferBytesSet {
+		ov.BufferBytes = p.BufferBytes
+		ov.BufferBytesSet = true
+	}
+	return scenario.Scenario{
+		Family: "synth-" + model, Tag: sc.Name,
+		Schedule: scenario.ScheduleSpec{
+			Source: src, Nodes: p.Nodes, Duration: duration,
+			MeanMeeting: p.MeanMeeting, TransferBytes: p.TransferBytes,
+			Alpha: p.PowerLawAlpha, RankSeed: 42,
+		},
+		Workload: scenario.WorkloadSpec{
+			Shape: scenario.ShapePoisson, Load: load, Window: p.LoadWindow,
+			PacketBytes: p.PacketBytes, Deadline: p.DeadlineSeconds,
+			NodeCount: p.Nodes, PerPair: true,
+		},
+		Protocol: proto,
+		Metric:   scenario.NormalizeMetric(proto, metric),
+		Config:   ov,
+		Run:      run,
+	}
+}
+
+// synthGrid expands the scale's runs for one synthetic point.
+func synthGrid(p SynthParams, sc Scale, model string, load float64, proto Proto, metric core.Metric, ov scenario.Overrides) []scenario.Scenario {
+	out := make([]scenario.Scenario, 0, sc.Runs)
 	for run := 0; run < sc.Runs; run++ {
-		key := "synth|" + model + "|" + memoKey(sc, 0, run, load, proto, metric, modKey)
-		var s metrics.Summary
-		if v, ok := memo.Load(key); ok {
-			s = v.(metrics.Summary)
-		} else {
-			s = runSynth(p, model, run, load, proto, metric, cfgMod)
-			memo.Store(key, s)
-		}
-		sum += value(s)
+		out = append(out, synthScenario(p, sc, model, run, load, proto, metric, ov))
 	}
-	return sum / float64(sc.Runs)
+	return out
+}
+
+// fairnessScenario builds the Fig. 15 cohort workload for one day: a
+// Poisson background keeping resources contended plus batches of
+// packets created in parallel.
+func fairnessScenario(p TraceParams, sc Scale, day, parallel int) scenario.Scenario {
+	s := traceScenario(p, sc, day, 0, 0, ProtoRapid, core.AvgDelay, scenario.Overrides{})
+	s.Family = "trace-fairness"
+	s.Workload = scenario.WorkloadSpec{
+		Shape: scenario.ShapeCohorts, Window: p.LoadWindow,
+		PacketBytes: p.PacketBytes,
+		Cohorts:     8, Parallel: parallel, BgLoad: 10,
+	}
+	return s
 }
 
 // Summary value extractors shared by the figures.

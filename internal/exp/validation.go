@@ -4,11 +4,9 @@ import (
 	"fmt"
 
 	"rapid/internal/core"
-	"rapid/internal/metrics"
 	"rapid/internal/report"
-	"rapid/internal/routing"
+	"rapid/internal/scenario"
 	"rapid/internal/stat"
-	"rapid/internal/trace"
 )
 
 // Table3 reproduces the deployment's average daily statistics (§5.2):
@@ -16,18 +14,26 @@ import (
 // scale's days, on the deployment-emulated (perturbed) schedules.
 func Table3(sc Scale) Output {
 	p := DefaultTraceParams()
+	scs := make([]scenario.Scenario, sc.Days)
+	for day := range scs {
+		scs[day] = deployScenario(p, sc, day)
+	}
+	sums := defaultEngine.Summaries(scs)
+
 	var buses, bytesDay, meetings stat.Welford
 	var delivered, delay, metaBW, metaData stat.Welford
-	for day := 0; day < sc.Days; day++ {
-		sched, col, s := deploymentDay(p, sc, day)
+	for day, s := range sums {
+		// Roster size is a schedule property; rebuild the (cheap,
+		// deterministic) schedule for it.
+		schedSeed, _, _ := scs[day].Seeds()
+		sched := scs[day].Schedule.Build(schedSeed)
 		buses.Add(float64(len(sched.Nodes())))
-		bytesDay.Add(float64(sched.TotalBytes()))
-		meetings.Add(float64(len(sched.Meetings)))
+		bytesDay.Add(float64(s.OpportunityBytes))
+		meetings.Add(float64(s.Meetings))
 		delivered.Add(s.DeliveryRate)
 		delay.Add(s.AvgDelay / 60)
 		metaBW.Add(s.MetaOverBandwidth)
 		metaData.Add(s.MetaOverData)
-		_ = col
 	}
 	t := &TableData{Header: []string{"statistic", "paper", "reproduced"}}
 	add := func(name, paper, ours string) { t.Rows = append(t.Rows, []string{name, paper, ours}) }
@@ -47,21 +53,6 @@ func Table3(sc Scale) Output {
 	return Output{Table: t, Notes: notes}
 }
 
-// deploymentDay runs the "Real" arm: the perturbed schedule standing in
-// for the physical deployment.
-func deploymentDay(p TraceParams, sc Scale, day int) (*trace.Schedule, *metrics.Collector, metrics.Summary) {
-	clean := traceDay(p, sc, day)
-	pert := trace.DefaultPerturb()
-	pert.Seed = int64(day) + 4242
-	sched := trace.Perturb(clean, pert)
-	w := traceWorkload(p, sc, sched, p.DefaultLoad, int64(day)*1000^0x5ca1ab1e, true)
-	factory, cfg := arm(ProtoRapid, core.AvgDelay, baseTraceConfig(p))
-	col := routing.Run(routing.Scenario{
-		Schedule: sched, Workload: w, Factory: factory, Cfg: cfg, Seed: int64(day),
-	})
-	return sched, col, col.Summarize(sched.Duration)
-}
-
 // Fig3 reproduces Figure 3: per-day average delay of the deployment
 // ("Real": perturbed schedule) against the clean trace-driven
 // simulation averaged over the scale's runs, plus the headline
@@ -69,6 +60,20 @@ func deploymentDay(p TraceParams, sc Scale, day int) (*trace.Schedule, *metrics.
 // relative error of the deployment's at 95% confidence.
 func Fig3(sc Scale) Output {
 	p := DefaultTraceParams()
+
+	// Both arms submitted as one flat batch: days × (1 real + Runs sim).
+	realScs := make([]scenario.Scenario, sc.Days)
+	var simScs []scenario.Scenario
+	for day := 0; day < sc.Days; day++ {
+		realScs[day] = deployScenario(p, sc, day)
+		for run := 0; run < sc.Runs; run++ {
+			simScs = append(simScs, traceScenario(p, sc, day, run,
+				p.DefaultLoad, ProtoRapid, core.AvgDelay, scenario.Overrides{}))
+		}
+	}
+	sums := defaultEngine.Summaries(append(append([]scenario.Scenario{}, realScs...), simScs...))
+	realSums, simSums := sums[:sc.Days], sums[sc.Days:]
+
 	fig := &Figure{
 		ID: "fig3", Title: "Deployment vs simulation, daily average delay",
 		XLabel: "day", YLabel: "avg delay (min)",
@@ -77,15 +82,14 @@ func Fig3(sc Scale) Output {
 	simS := SeriesData{Label: "Simulation"}
 	var relDiffs []float64
 	for day := 0; day < sc.Days; day++ {
-		_, _, rs := deploymentDay(p, sc, day)
+		rs := realSums[day]
 		real.X = append(real.X, float64(day))
 		real.Y = append(real.Y, rs.AvgDelay/60)
 
 		// Clean simulation, averaged over seeds (paper: 30 runs).
 		var w stat.Welford
 		for run := 0; run < sc.Runs; run++ {
-			s := runTraceDay(p, sc, day, run, p.DefaultLoad, ProtoRapid, core.AvgDelay, nil)
-			w.Add(s.AvgDelay / 60)
+			w.Add(simSums[day*sc.Runs+run].AvgDelay / 60)
 		}
 		simS.X = append(simS.X, float64(day))
 		simS.Y = append(simS.Y, w.Mean())

@@ -6,6 +6,7 @@
 package mobility
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -36,6 +37,21 @@ type Config struct {
 	// preserving the mean.
 	TransferBytes int64
 	Jitter        bool
+}
+
+// ByName constructs a Model from its registry name — the spec
+// constructor used by the scenario layer and the command-line tools.
+// alpha and ranks parameterize the power-law model only (alpha <= 0
+// selects 1; nil ranks order popularity by node index).
+func ByName(name string, cfg Config, alpha float64, ranks []int) (Model, error) {
+	switch name {
+	case "exponential":
+		return Exponential{Config: cfg}, nil
+	case "powerlaw":
+		return PowerLaw{Config: cfg, Alpha: alpha, Ranks: ranks}, nil
+	default:
+		return nil, fmt.Errorf("mobility: unknown model %q", name)
+	}
 }
 
 // Exponential is the uniform exponential mobility model: every node

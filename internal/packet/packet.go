@@ -134,6 +134,63 @@ func Generate(cfg GenConfig, r *rand.Rand) Workload {
 	return out
 }
 
+// GenerateOnOff draws a bursty workload: each ordered (src, dst) pair
+// alternates exponential ON periods (mean onMean seconds), during which
+// packets arrive as a Poisson process at the configured rate, with
+// exponential OFF periods (mean offMean) of silence. The long-run
+// offered load is the Poisson load scaled by the duty cycle
+// onMean/(onMean+offMean). offMean <= 0 degenerates to Generate.
+func GenerateOnOff(cfg GenConfig, onMean, offMean float64, r *rand.Rand) Workload {
+	if offMean <= 0 {
+		return Generate(cfg, r)
+	}
+	var out Workload
+	if cfg.PacketsPerHourPerDest <= 0 || cfg.LoadWindow <= 0 || cfg.Duration <= 0 || onMean <= 0 {
+		return out
+	}
+	rate := cfg.PacketsPerHourPerDest / cfg.LoadWindow
+	id := cfg.FirstID
+	for _, src := range cfg.Nodes {
+		for _, dst := range cfg.Nodes {
+			if src == dst {
+				continue
+			}
+			// Each pair starts a fresh on/off cycle at a random phase
+			// within its first cycle so bursts are not synchronized
+			// fleet-wide.
+			t := -r.Float64() * (onMean + offMean)
+			for t < cfg.Duration {
+				on := t + r.ExpFloat64()*onMean
+				arrival := t
+				for {
+					arrival += r.ExpFloat64() / rate
+					if arrival >= on || arrival >= cfg.Duration {
+						break
+					}
+					if arrival < 0 {
+						continue // before the horizon (phase offset)
+					}
+					p := &Packet{
+						ID:      id,
+						Src:     src,
+						Dst:     dst,
+						Size:    cfg.PacketSize,
+						Created: arrival,
+					}
+					if cfg.Deadline > 0 {
+						p.Deadline = arrival + cfg.Deadline
+					}
+					id++
+					out = append(out, p)
+				}
+				t = on + r.ExpFloat64()*offMean
+			}
+		}
+	}
+	out.Sort()
+	return out
+}
+
 // GenerateParallel creates `cohorts` batches of `parallel` packets each;
 // all packets in a batch are created at the same instant with distinct
 // (src,dst) pairs drawn round-robin over Nodes. This reproduces the

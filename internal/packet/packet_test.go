@@ -176,3 +176,78 @@ func TestGenerateParallel(t *testing.T) {
 		t.Error("need >=2 nodes")
 	}
 }
+
+// TestGenerateOnOffDeterministicAndBursty: the on-off generator is
+// deterministic in its seed, produces less traffic than always-on
+// Poisson at the same instantaneous rate, and degenerates to Generate
+// when offMean <= 0.
+func TestGenerateOnOffDeterministicAndBursty(t *testing.T) {
+	cfg := GenConfig{
+		Nodes:                 []NodeID{0, 1, 2, 3},
+		PacketsPerHourPerDest: 20,
+		LoadWindow:            50,
+		Duration:              600,
+		PacketSize:            1024,
+		Deadline:              20,
+		FirstID:               1,
+	}
+	a := GenerateOnOff(cfg, 30, 120, rand.New(rand.NewSource(5)))
+	b := GenerateOnOff(cfg, 30, 120, rand.New(rand.NewSource(5)))
+	if len(a) == 0 {
+		t.Fatal("on-off generated nothing")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed produced %d vs %d packets", len(a), len(b))
+	}
+	for i := range a {
+		if *a[i] != *b[i] {
+			t.Fatalf("packet %d differs between identical draws", i)
+		}
+	}
+	for _, p := range a {
+		if p.Created < 0 || p.Created >= cfg.Duration {
+			t.Errorf("packet created at %v outside [0,%v)", p.Created, cfg.Duration)
+		}
+		if p.Deadline != p.Created+cfg.Deadline {
+			t.Errorf("deadline not stamped: %+v", p)
+		}
+	}
+	full := Generate(cfg, rand.New(rand.NewSource(5)))
+	if len(a) >= len(full) {
+		t.Errorf("bursty %d packets >= always-on %d", len(a), len(full))
+	}
+	degenerate := GenerateOnOff(cfg, 30, 0, rand.New(rand.NewSource(5)))
+	if len(degenerate) != len(full) {
+		t.Fatalf("offMean=0 must equal Generate: %d vs %d", len(degenerate), len(full))
+	}
+	for i := range degenerate {
+		if *degenerate[i] != *full[i] {
+			t.Fatalf("degenerate packet %d differs from Generate", i)
+		}
+	}
+}
+
+// TestGenerateOnOffIDsSorted: IDs are unique and the workload is
+// time-sorted like every other generator's output.
+func TestGenerateOnOffIDsSorted(t *testing.T) {
+	cfg := GenConfig{
+		Nodes: []NodeID{0, 1, 2}, PacketsPerHourPerDest: 30,
+		LoadWindow: 50, Duration: 500, PacketSize: 512, FirstID: 10,
+	}
+	w := GenerateOnOff(cfg, 20, 60, rand.New(rand.NewSource(2)))
+	seen := map[ID]bool{}
+	prev := -1.0
+	for _, p := range w {
+		if seen[p.ID] {
+			t.Fatalf("duplicate ID %d", p.ID)
+		}
+		seen[p.ID] = true
+		if p.ID < 10 {
+			t.Fatalf("ID %d below FirstID", p.ID)
+		}
+		if p.Created < prev {
+			t.Fatal("workload not time-sorted")
+		}
+		prev = p.Created
+	}
+}

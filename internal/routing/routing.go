@@ -55,6 +55,10 @@ type Config struct {
 	// BufferBytes is per-node storage for in-transit data
 	// (<= 0: unlimited — the deployment's 40 GB effectively was).
 	BufferBytes int64
+	// BufferBytesFor, when non-nil, assigns per-node storage and
+	// overrides BufferBytes (heterogeneous-buffer scenarios; <= 0 is
+	// unlimited for that node).
+	BufferBytesFor func(packet.NodeID) int64
 	// Mode selects the control plane.
 	Mode ControlMode
 	// MetaFraction caps metadata at this fraction of each transfer
@@ -186,9 +190,13 @@ func NewNetwork(engine *sim.Engine, ids []packet.NodeID, f RouterFactory, cfg Co
 		net.Global = control.NewGlobal()
 	}
 	for _, id := range ids {
+		capacity := cfg.BufferBytes
+		if cfg.BufferBytesFor != nil {
+			capacity = cfg.BufferBytesFor(id)
+		}
 		n := &Node{
 			ID:    id,
-			Store: buffer.New(cfg.BufferBytes),
+			Store: buffer.New(capacity),
 			Ctl:   control.NewState(id, cfg.Hops, net.Global),
 			Net:   net,
 		}

@@ -217,3 +217,27 @@ func TestControlModeString(t *testing.T) {
 		t.Error("unknown mode must stringify")
 	}
 }
+
+// TestPerNodeBufferBytes: BufferBytesFor assigns heterogeneous
+// capacities, overriding the uniform BufferBytes.
+func TestPerNodeBufferBytes(t *testing.T) {
+	cfg := routing.Config{
+		BufferBytes: 999, // must be ignored when BufferBytesFor is set
+		BufferBytesFor: func(id packet.NodeID) int64 {
+			if id%2 == 0 {
+				return 100
+			}
+			return 2000
+		},
+	}
+	net := routing.NewNetwork(nil, []packet.NodeID{0, 1, 2, 3}, epidemic.New(), cfg)
+	for _, id := range []packet.NodeID{0, 1, 2, 3} {
+		want := int64(2000)
+		if id%2 == 0 {
+			want = 100
+		}
+		if got := net.Node(id).Store.Capacity(); got != want {
+			t.Errorf("node %d capacity = %d, want %d", id, got, want)
+		}
+	}
+}

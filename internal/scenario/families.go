@@ -1,0 +1,197 @@
+package scenario
+
+import (
+	"rapid/internal/core"
+	"rapid/internal/trace"
+)
+
+// DefaultTraceLoad is the deployment's generation rate (§5.1):
+// 4 packets per hour per destination. exp.TraceParams.DefaultLoad and
+// the deployment family both derive from it so the Table 3 / Fig. 3
+// arms stay in lockstep (and keep sharing cache entries).
+const DefaultTraceLoad = 4.0
+
+// DefaultTraceWorkload returns the §5.1/Table 4 trace-driven workload:
+// Poisson arrivals per hour per on-the-road destination, 1 KB packets,
+// 2.7 h deadline.
+func DefaultTraceWorkload(load float64) WorkloadSpec {
+	return WorkloadSpec{
+		Shape: ShapePoisson, Load: load, Window: 3600,
+		PacketBytes: 1 << 10, Deadline: 2.7 * 3600,
+	}
+}
+
+// DefaultSynthBuffer is Table 4's per-node storage (100 KB); synthetic
+// families run with it unless they declare their own storage classes.
+const DefaultSynthBuffer int64 = 100 << 10
+
+// defaultSynthOverrides applies Table 4's uniform buffer.
+func defaultSynthOverrides() Overrides {
+	return Overrides{BufferBytes: DefaultSynthBuffer, BufferBytesSet: true}
+}
+
+// DefaultSynthWorkload returns Table 4's synthetic workload: the load
+// axis is packets per 50 s per destination aggregated over sources
+// (PerPair), 1 KB packets, 20 s deadline.
+func DefaultSynthWorkload(load float64, nodes int) WorkloadSpec {
+	return WorkloadSpec{
+		Shape: ShapePoisson, Load: load, Window: 50,
+		PacketBytes: 1 << 10, Deadline: 20,
+		NodeCount: nodes, PerPair: true,
+	}
+}
+
+// DefaultSynthSchedule returns Table 4's synthetic mobility spec for
+// the given source model.
+func DefaultSynthSchedule(src Source, nodes int, duration float64) ScheduleSpec {
+	return ScheduleSpec{
+		Source: src, Nodes: nodes, Duration: duration,
+		MeanMeeting: 60, TransferBytes: 100 << 10,
+		Alpha: 1, RankSeed: 42,
+	}
+}
+
+// DefaultTraceSchedule returns the Table-3-calibrated DieselNet spec.
+func DefaultTraceSchedule(day int, dayHours float64) ScheduleSpec {
+	return ScheduleSpec{
+		Source: SourceDieselNet, Diesel: trace.DefaultDieselNet(),
+		Day: day, DayHours: dayHours,
+	}
+}
+
+// protocols resolves the family's protocol arms.
+func protocols(p Params) []Proto {
+	if len(p.Protocols) > 0 {
+		return p.Protocols
+	}
+	return ComparisonSet()
+}
+
+// grid expands the days×runs×loads×protocols cross product with a
+// per-point scenario constructor.
+func grid(p Params, days bool, mk func(day, run int, load float64, proto Proto) Scenario) []Scenario {
+	nd := p.Days
+	if !days || nd < 1 {
+		nd = 1
+	}
+	var out []Scenario
+	for _, proto := range protocols(p) {
+		for _, load := range p.Loads {
+			for day := 0; day < nd; day++ {
+				for run := 0; run < p.Runs; run++ {
+					out = append(out, mk(day, run, load, proto))
+				}
+			}
+		}
+	}
+	return out
+}
+
+func init() {
+	Register(Family{
+		Name: "trace-comparison",
+		Doc:  "DieselNet day × load grid over the §6.1 comparison set (Figs. 4–7)",
+		Gen: func(p Params) []Scenario {
+			return grid(p, true, func(day, run int, load float64, proto Proto) Scenario {
+				return Scenario{
+					Family: "trace-comparison", Tag: p.Tag,
+					Schedule: DefaultTraceSchedule(day, p.DayHours),
+					Workload: DefaultTraceWorkload(load),
+					Protocol: proto, Metric: NormalizeMetric(proto, core.AvgDelay),
+					Run: run,
+				}
+			})
+		},
+	})
+	Register(Family{
+		Name: "synth-exponential",
+		Doc:  "uniform exponential mobility × load grid (Figs. 22–24)",
+		Gen:  func(p Params) []Scenario { return synthFamily("synth-exponential", SourceExponential, p) },
+	})
+	Register(Family{
+		Name: "synth-powerlaw",
+		Doc:  "popularity-skewed power-law mobility × load grid (Figs. 16–18)",
+		Gen:  func(p Params) []Scenario { return synthFamily("synth-powerlaw", SourcePowerLaw, p) },
+	})
+	Register(Family{
+		Name: "hetero-buffers",
+		Doc:  "power-law mobility where every other node has a tiny buffer — per-node storage classes the uniform-buffer harness cannot express",
+		Gen: func(p Params) []Scenario {
+			return grid(p, false, func(_, run int, load float64, proto Proto) Scenario {
+				return Scenario{
+					Family: "hetero-buffers", Tag: p.Tag,
+					Schedule: DefaultSynthSchedule(SourcePowerLaw, p.Nodes, p.Duration),
+					Workload: DefaultSynthWorkload(load, p.Nodes),
+					Protocol: proto, Metric: NormalizeMetric(proto, core.AvgDelay),
+					Config: Overrides{Hetero: HeteroBuffers{
+						Enabled:    true,
+						SmallBytes: 10 << 10,
+						LargeBytes: 100 << 10,
+						SmallEvery: 2,
+					}},
+					Run: run,
+				}
+			})
+		},
+	})
+	Register(Family{
+		Name: "bursty-onoff",
+		Doc:  "exponential mobility under a bursty on-off workload (30 s bursts, 120 s silences) — a traffic shape the Poisson-only harness cannot express",
+		Gen: func(p Params) []Scenario {
+			return grid(p, false, func(_, run int, load float64, proto Proto) Scenario {
+				w := DefaultSynthWorkload(load, p.Nodes)
+				w.Shape = ShapeOnOff
+				w.OnMean, w.OffMean = 30, 120
+				return Scenario{
+					Family: "bursty-onoff", Tag: p.Tag,
+					Schedule: DefaultSynthSchedule(SourceExponential, p.Nodes, p.Duration),
+					Workload: w,
+					Protocol: proto, Metric: NormalizeMetric(proto, core.AvgDelay),
+					Config: defaultSynthOverrides(),
+					Run:    run,
+				}
+			})
+		},
+	})
+	Register(Family{
+		Name: "deployment",
+		Doc:  "perturbed DieselNet days standing in for the physical deployment (Table 3, Fig. 3's 'Real' arm)",
+		Gen: func(p Params) []Scenario {
+			var out []Scenario
+			for day := 0; day < max(p.Days, 1); day++ {
+				out = append(out, Deployment(p.Tag, day, p.DayHours, DefaultTraceLoad))
+			}
+			return out
+		},
+	})
+}
+
+// synthFamily is the shared shape of the two Table 4 mobility families.
+func synthFamily(name string, src Source, p Params) []Scenario {
+	return grid(p, false, func(_, run int, load float64, proto Proto) Scenario {
+		return Scenario{
+			Family: name, Tag: p.Tag,
+			Schedule: DefaultSynthSchedule(src, p.Nodes, p.Duration),
+			Workload: DefaultSynthWorkload(load, p.Nodes),
+			Protocol: proto, Metric: NormalizeMetric(proto, core.AvgDelay),
+			Config: defaultSynthOverrides(),
+			Run:    run,
+		}
+	})
+}
+
+// Deployment returns the perturbed-schedule scenario of the Fig. 3
+// "Real" arm for one day at the given load.
+func Deployment(tag string, day int, dayHours, load float64) Scenario {
+	ss := DefaultTraceSchedule(day, dayHours)
+	ss.Perturb = true
+	pc := trace.DefaultPerturb()
+	pc.Seed = int64(day) + 4242
+	ss.PerturbCfg = pc
+	return Scenario{
+		Family: "deployment", Tag: tag,
+		Schedule: ss,
+		Workload: DefaultTraceWorkload(load),
+		Protocol: ProtoRapid, Metric: core.AvgDelay,
+	}
+}

@@ -1,0 +1,85 @@
+package scenario
+
+import (
+	"rapid/internal/core"
+	"rapid/internal/routing"
+	"rapid/internal/routing/epidemic"
+	"rapid/internal/routing/maxprop"
+	"rapid/internal/routing/prophet"
+	"rapid/internal/routing/randomw"
+	"rapid/internal/routing/spraywait"
+)
+
+// Metric is RAPID's routing objective (§3.5).
+type Metric = core.Metric
+
+// Proto identifies a protocol arm of a scenario.
+type Proto string
+
+// The protocol arms of §6.1's comparison set plus the ablation and
+// epidemic arms.
+const (
+	ProtoRapid       Proto = "Rapid"
+	ProtoRapidLocal  Proto = "Rapid: Local"
+	ProtoRapidGlobal Proto = "Rapid: Instant global"
+	ProtoMaxProp     Proto = "MaxProp"
+	ProtoSprayWait   Proto = "Spray and Wait"
+	ProtoProphet     Proto = "Prophet"
+	ProtoRandom      Proto = "Random"
+	ProtoRandomAcks  Proto = "Random: With Acks"
+	ProtoEpidemic    Proto = "Epidemic"
+)
+
+// ComparisonSet is the four-protocol lineup of the headline figures
+// (Prophet "performed worse than the three routing protocols for all
+// loads and all metrics" and is omitted from the paper's graphs for
+// clarity — it stays available via its own Proto).
+func ComparisonSet() []Proto {
+	return []Proto{ProtoRapid, ProtoMaxProp, ProtoSprayWait, ProtoRandom}
+}
+
+// Arm builds the router factory and config adjustments for a protocol.
+func Arm(p Proto, metric Metric, base routing.Config) (routing.RouterFactory, routing.Config) {
+	cfg := base
+	switch p {
+	case ProtoRapid:
+		return core.New(metric), cfg
+	case ProtoRapidLocal:
+		cfg.LocalOnlyMeta = true
+		return core.New(metric), cfg
+	case ProtoRapidGlobal:
+		cfg.Mode = routing.ControlGlobal
+		return core.New(metric), cfg
+	case ProtoMaxProp:
+		cfg.AcksOnly = true
+		return maxprop.New(), cfg
+	case ProtoSprayWait:
+		cfg.Mode = routing.ControlNone
+		return spraywait.New(spraywait.DefaultL), cfg
+	case ProtoProphet:
+		cfg.Mode = routing.ControlNone
+		return prophet.New(prophet.DefaultParams()), cfg
+	case ProtoRandom:
+		cfg.Mode = routing.ControlNone
+		return randomw.New(), cfg
+	case ProtoRandomAcks:
+		cfg.AcksOnly = true
+		return randomw.New(), cfg
+	case ProtoEpidemic:
+		return epidemic.New(), cfg
+	default:
+		panic("scenario: unknown protocol " + string(p))
+	}
+}
+
+// NormalizeMetric collapses the metric dimension for metric-agnostic
+// baselines so their scenarios are identical across figures that only
+// vary RAPID's objective — identical scenarios share one cache entry.
+func NormalizeMetric(proto Proto, metric Metric) Metric {
+	switch proto {
+	case ProtoRapid, ProtoRapidLocal, ProtoRapidGlobal:
+		return metric
+	default:
+		return core.AvgDelay
+	}
+}

@@ -1,0 +1,90 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Params scales a family's grid. Families ignore fields they do not
+// use; DefaultParams returns a modest grid suitable for interactive
+// sweeps.
+type Params struct {
+	// Tag namespaces the produced scenarios' cache identity.
+	Tag string
+	// Days is the number of DieselNet days to cover.
+	Days int
+	// Runs is the number of averaging seeds per grid point.
+	Runs int
+	// DayHours truncates DieselNet days when positive.
+	DayHours float64
+	// Loads is the load axis (packets per window per destination).
+	Loads []float64
+	// Protocols restricts the protocol arms (nil = family default).
+	Protocols []Proto
+	// Nodes and Duration size the synthetic-mobility populations.
+	Nodes    int
+	Duration float64
+}
+
+// DefaultParams returns a small grid: two days, one seed, two loads.
+func DefaultParams() Params {
+	return Params{
+		Tag: "default", Days: 2, Runs: 1, DayHours: 4,
+		Loads: []float64{4, 20}, Nodes: 20, Duration: 300,
+	}
+}
+
+// Family is a named, documented scenario generator in the registry.
+type Family struct {
+	Name string
+	// Doc is a one-line description shown by `experiments -families`.
+	Doc string
+	// Gen expands the family into its scenario grid.
+	Gen func(p Params) []Scenario
+}
+
+var (
+	registry     = map[string]Family{}
+	registryName []string
+)
+
+// Register adds a family to the registry. Registering a duplicate name
+// panics: families are package-level declarations, so a collision is a
+// programming error.
+func Register(f Family) {
+	if f.Name == "" || f.Gen == nil {
+		panic("scenario: family must have a name and a generator")
+	}
+	if _, dup := registry[f.Name]; dup {
+		panic(fmt.Sprintf("scenario: duplicate family %q", f.Name))
+	}
+	registry[f.Name] = f
+	registryName = append(registryName, f.Name)
+}
+
+// Families returns every registered family sorted by name.
+func Families() []Family {
+	names := append([]string(nil), registryName...)
+	sort.Strings(names)
+	out := make([]Family, 0, len(names))
+	for _, n := range names {
+		out = append(out, registry[n])
+	}
+	return out
+}
+
+// Lookup finds a family by name.
+func Lookup(name string) (Family, bool) {
+	f, ok := registry[name]
+	return f, ok
+}
+
+// Expand generates the named family's grid or errors on an unknown
+// name.
+func Expand(name string, p Params) ([]Scenario, error) {
+	f, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown family %q", name)
+	}
+	return f.Gen(p), nil
+}

@@ -1,0 +1,395 @@
+// Package scenario is the declarative experiment layer: a Scenario is a
+// pure, comparable value describing one simulation run — where the
+// meeting schedule comes from, what workload rides on it, which
+// protocol and routing metric are in play, which runtime-config
+// overrides apply, and how every random seed is derived. Because a
+// Scenario is comparable it serves directly as a cache key (the
+// experiment engine in internal/exp memoizes summaries per Scenario)
+// and as a registry entry: the package keeps a registry of named
+// scenario families — parameterized grids such as the paper's
+// trace-comparison sweep or the heterogeneous-buffer stress family —
+// that figures, benchmarks and the command-line tools all draw from.
+//
+// DESIGN.md §4 documents the registry and how to add a family;
+// DESIGN.md §6 covers the seed-derivation rules that make every run
+// reproducible bit-for-bit.
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rapid/internal/metrics"
+	"rapid/internal/mobility"
+	"rapid/internal/packet"
+	"rapid/internal/routing"
+	"rapid/internal/trace"
+)
+
+// Source selects where a scenario's meeting schedule comes from.
+type Source int
+
+const (
+	// SourceDieselNet replays a synthetic DieselNet day (§5's testbed).
+	SourceDieselNet Source = iota
+	// SourceExponential draws uniform exponential mobility (§6.3).
+	SourceExponential
+	// SourcePowerLaw draws popularity-skewed mobility (§6.3).
+	SourcePowerLaw
+)
+
+// String implements fmt.Stringer.
+func (s Source) String() string {
+	switch s {
+	case SourceDieselNet:
+		return "dieselnet"
+	case SourceExponential:
+		return "exponential"
+	case SourcePowerLaw:
+		return "powerlaw"
+	default:
+		return fmt.Sprintf("Source(%d)", int(s))
+	}
+}
+
+// ScheduleSpec declares a meeting schedule. The zero value is not
+// usable; fill the fields for the chosen Source. All fields are
+// comparable so the spec can be part of a cache key.
+type ScheduleSpec struct {
+	Source Source
+
+	// DieselNet fields.
+	Diesel trace.DieselNetConfig
+	// Day is the DieselNet day index.
+	Day int
+	// DayHours truncates the simulated day when positive (scales trade
+	// fidelity for wall clock; see exp.Scale).
+	DayHours float64
+	// Perturb applies deployment perturbations to the built schedule,
+	// whatever its source (the Fig. 3 "Real" arm).
+	Perturb    bool
+	PerturbCfg trace.PerturbConfig
+
+	// Synthetic-mobility fields (Table 4's synthetic column).
+	Nodes         int
+	Duration      float64
+	MeanMeeting   float64
+	TransferBytes int64
+	// Alpha is the power-law exponent (SourcePowerLaw).
+	Alpha float64
+	// RankSeed fixes the popularity assignment; popularity is a property
+	// of the experiment, not of a schedule draw.
+	RankSeed int64
+}
+
+// Build materializes the schedule. DieselNet days are deterministic in
+// the config alone; the synthetic models consume seed.
+func (ss ScheduleSpec) Build(seed int64) *trace.Schedule {
+	s := ss.build(seed)
+	if ss.Perturb {
+		s = trace.Perturb(s, ss.PerturbCfg)
+	}
+	return s
+}
+
+func (ss ScheduleSpec) build(seed int64) *trace.Schedule {
+	switch ss.Source {
+	case SourceDieselNet:
+		cfg := ss.Diesel
+		if ss.DayHours > 0 {
+			cfg.DayHours = ss.DayHours
+		}
+		return trace.NewDieselNet(cfg).Day(ss.Day)
+	case SourceExponential, SourcePowerLaw:
+		cfg := mobility.Config{
+			Nodes:         ss.Nodes,
+			Duration:      ss.Duration,
+			MeanMeeting:   ss.MeanMeeting,
+			TransferBytes: ss.TransferBytes,
+			Jitter:        true,
+		}
+		var ranks []int
+		if ss.Source == SourcePowerLaw {
+			ranks = mobility.RandomRanks(ss.Nodes, rand.New(rand.NewSource(ss.RankSeed)))
+		}
+		m, err := mobility.ByName(ss.Source.String(), cfg, ss.Alpha, ranks)
+		if err != nil {
+			panic("scenario: " + err.Error())
+		}
+		return m.Schedule(rand.New(rand.NewSource(seed)))
+	default:
+		panic(fmt.Sprintf("scenario: unknown schedule source %v", ss.Source))
+	}
+}
+
+// Shape selects the workload generator.
+type Shape int
+
+const (
+	// ShapePoisson is the paper's workload: independent Poisson arrivals
+	// per ordered (src, dst) pair (§5.1).
+	ShapePoisson Shape = iota
+	// ShapeOnOff gates each pair's Poisson arrivals by alternating
+	// exponential on/off periods — a bursty workload family the paper
+	// does not evaluate.
+	ShapeOnOff
+	// ShapeCohorts is the Fig. 15 fairness workload: batches of packets
+	// created in parallel riding on a Poisson background.
+	ShapeCohorts
+)
+
+// String implements fmt.Stringer.
+func (s Shape) String() string {
+	switch s {
+	case ShapePoisson:
+		return "poisson"
+	case ShapeOnOff:
+		return "on-off"
+	case ShapeCohorts:
+		return "cohorts"
+	default:
+		return fmt.Sprintf("Shape(%d)", int(s))
+	}
+}
+
+// WorkloadSpec declares the traffic offered to the network. Load is in
+// packets per Window per destination; the trace experiments use
+// Window = 3600 s and the synthetic ones Window = 50 s (Table 4).
+type WorkloadSpec struct {
+	Shape Shape
+	Load  float64
+	// Window is the load-axis unit in seconds.
+	Window float64
+	// PacketBytes is the packet size (1 KB everywhere in the paper).
+	PacketBytes int64
+	// Deadline stamps packets with Created+Deadline when positive.
+	Deadline float64
+	// NodeCount, when positive, makes the endpoints 0..NodeCount-1
+	// (the synthetic convention) instead of the schedule's node set
+	// (the trace convention, §5.1: "only buses that were scheduled to
+	// be on the road").
+	NodeCount int
+	// PerPair divides Load by (endpoints-1), turning the load axis into
+	// packets per window per destination aggregated over sources
+	// (DESIGN.md §7).
+	PerPair bool
+
+	// OnMean/OffMean are the mean burst/silence durations in seconds
+	// (ShapeOnOff). Load stays the long-run offered load: Build scales
+	// the instantaneous ON rate by (OnMean+OffMean)/OnMean, so the load
+	// axis is comparable with always-on shapes.
+	OnMean, OffMean float64
+
+	// Fairness-cohort fields (ShapeCohorts).
+	Cohorts  int
+	Parallel int
+	// BgLoad is the Poisson background load that keeps resources
+	// contended under the cohorts (§6.2.5).
+	BgLoad float64
+}
+
+// cohortIDBase re-IDs cohort packets above any plausible background
+// range so the two sub-workloads cannot collide.
+const cohortIDBase = 1_000_000
+
+// Build materializes the workload over the given schedule using seed.
+func (ws WorkloadSpec) Build(sched *trace.Schedule, seed int64) packet.Workload {
+	nodes := sched.Nodes()
+	if ws.NodeCount > 0 {
+		nodes = make([]packet.NodeID, ws.NodeCount)
+		for i := range nodes {
+			nodes[i] = packet.NodeID(i)
+		}
+	}
+	rate := ws.Load
+	if ws.PerPair && len(nodes) > 1 {
+		rate = ws.Load / float64(len(nodes)-1)
+	}
+	gc := packet.GenConfig{
+		Nodes:                 nodes,
+		PacketsPerHourPerDest: rate,
+		LoadWindow:            ws.Window,
+		Duration:              sched.Duration,
+		PacketSize:            ws.PacketBytes,
+		Deadline:              ws.Deadline,
+		FirstID:               1,
+	}
+	switch ws.Shape {
+	case ShapePoisson:
+		return packet.Generate(gc, rand.New(rand.NewSource(seed)))
+	case ShapeOnOff:
+		if ws.OnMean > 0 && ws.OffMean > 0 {
+			gc.PacketsPerHourPerDest *= (ws.OnMean + ws.OffMean) / ws.OnMean
+		}
+		return packet.GenerateOnOff(gc, ws.OnMean, ws.OffMean, rand.New(rand.NewSource(seed)))
+	case ShapeCohorts:
+		bg := gc
+		bg.PacketsPerHourPerDest = ws.BgLoad
+		bg.Deadline = 0
+		w := packet.Generate(bg, rand.New(rand.NewSource(seed+99)))
+		cohorts := packet.GenerateParallel(nodes, ws.Cohorts, ws.Parallel,
+			sched.Duration/10, ws.PacketBytes,
+			rand.New(rand.NewSource(seed*17+int64(ws.Parallel))))
+		for i, cp := range cohorts {
+			cp.ID = packet.ID(cohortIDBase + i)
+		}
+		w = append(w, cohorts...)
+		w.Sort()
+		return w
+	default:
+		panic(fmt.Sprintf("scenario: unknown workload shape %v", ws.Shape))
+	}
+}
+
+// HeteroBuffers declares per-node storage classes — a scenario family
+// the uniform-buffer harness cannot express. Every SmallEvery-th node
+// (by ID) gets SmallBytes of storage; the rest get LargeBytes.
+type HeteroBuffers struct {
+	Enabled    bool
+	SmallBytes int64
+	LargeBytes int64
+	SmallEvery int
+}
+
+// Overrides tweaks the runtime config declaratively. Unlike the old
+// free-text modKey closures, an Overrides value is comparable, so two
+// scenarios with different tweaks can never collide in a cache.
+type Overrides struct {
+	// MetaFraction caps in-band metadata when MetaFractionSet (Fig. 8's
+	// axis; negative = uncapped, zero = disabled).
+	MetaFraction    float64
+	MetaFractionSet bool
+	// BufferBytes replaces per-node storage when BufferBytesSet
+	// (Figs. 19–21's axis).
+	BufferBytes    int64
+	BufferBytesSet bool
+	// Hops overrides the meeting-estimation horizon when positive.
+	Hops int
+	// Mode replaces the control plane when ModeSet (e.g. the CLI's
+	// -global-channel applied to a non-RAPID protocol).
+	Mode    routing.ControlMode
+	ModeSet bool
+	// Hetero assigns per-node storage classes.
+	Hetero HeteroBuffers
+}
+
+// Apply folds the overrides into a runtime config.
+func (o Overrides) Apply(cfg *routing.Config) {
+	if o.MetaFractionSet {
+		cfg.MetaFraction = o.MetaFraction
+	}
+	if o.BufferBytesSet {
+		cfg.BufferBytes = o.BufferBytes
+	}
+	if o.Hops > 0 {
+		cfg.Hops = o.Hops
+	}
+	if o.ModeSet {
+		cfg.Mode = o.Mode
+	}
+	if o.Hetero.Enabled {
+		h := o.Hetero
+		if h.SmallEvery < 1 {
+			h.SmallEvery = 2
+		}
+		cfg.BufferBytesFor = func(id packet.NodeID) int64 {
+			if int(id)%h.SmallEvery == 0 {
+				return h.SmallBytes
+			}
+			return h.LargeBytes
+		}
+	}
+}
+
+// Scenario is one fully specified simulation run. It is a pure value:
+// comparable (usable as a map key), copyable, and deterministic — the
+// same Scenario always produces byte-identical schedules, workloads and
+// summaries.
+type Scenario struct {
+	// Family names the registry family that produced the scenario
+	// (informational; part of the cache identity).
+	Family string
+	// Tag namespaces the cache (the exp.Scale name; benchmarks use
+	// per-iteration tags to defeat memoization).
+	Tag      string
+	Schedule ScheduleSpec
+	Workload WorkloadSpec
+	Protocol Proto
+	// Metric is RAPID's routing objective (ignored by the baselines).
+	Metric Metric
+	// Config declares runtime-config overrides.
+	Config Overrides
+	// Run is the averaging-seed index; scenarios differing only in Run
+	// are independent draws of the same experiment point.
+	Run int
+}
+
+// workloadSeedSalt keeps workload draws decorrelated from simulation
+// seeds (the seed harness used the same constant).
+const workloadSeedSalt = 0x5ca1ab1e
+
+// Seeds derives every random seed from the scenario identity:
+//
+//   - DieselNet: base = Day·1000 + Run; the schedule is deterministic in
+//     the config, the workload draws from base XOR 0x5ca1ab1e, and the
+//     simulation from base.
+//   - Synthetic: base = Run + 1; the schedule draws from 31·base, the
+//     workload from 77·base, the simulation from base.
+//
+// The derivation matches the pre-registry harness for the standard
+// trace and synthetic sweeps (Figs. 4–14, 16–24), so those figure
+// values are stable across the refactor. The deployment and fairness
+// arms (Table 3, Fig. 3 "Real", Fig. 15) previously seeded the
+// simulator with the bare day index and now share this rule, so their
+// reproduced values shift within their expected spread.
+func (s Scenario) Seeds() (schedule, workload, sim int64) {
+	switch s.Schedule.Source {
+	case SourceDieselNet:
+		base := int64(s.Schedule.Day)*1000 + int64(s.Run)
+		return 0, base ^ workloadSeedSalt, base
+	default:
+		base := int64(s.Run) + 1
+		return base * 31, base * 77, base
+	}
+}
+
+// baseConfig is the runtime config before protocol arm and overrides.
+func (s Scenario) baseConfig() routing.Config {
+	cfg := routing.Config{
+		Mode:         routing.ControlInBand,
+		MetaFraction: -1,
+		Hops:         3,
+	}
+	if s.Schedule.Source == SourceDieselNet {
+		cfg.DefaultTransferBytes = s.Schedule.Diesel.MeanTransferBytes
+	} else {
+		cfg.DefaultTransferBytes = float64(s.Schedule.TransferBytes)
+	}
+	return cfg
+}
+
+// Materialize builds the runnable form: schedule, workload, router
+// factory and final config, with all seeds derived.
+func (s Scenario) Materialize() routing.Scenario {
+	schedSeed, wSeed, simSeed := s.Seeds()
+	sched := s.Schedule.Build(schedSeed)
+	w := s.Workload.Build(sched, wSeed)
+	factory, cfg := Arm(s.Protocol, s.Metric, s.baseConfig())
+	s.Config.Apply(&cfg)
+	return routing.Scenario{
+		Schedule: sched, Workload: w, Factory: factory, Cfg: cfg, Seed: simSeed,
+	}
+}
+
+// Execute materializes and runs the scenario, returning the full
+// collector and the run horizon.
+func (s Scenario) Execute() (*metrics.Collector, float64) {
+	rs := s.Materialize()
+	return routing.Run(rs), rs.Schedule.Duration
+}
+
+// Summary runs the scenario and reduces it to the reported metrics.
+func (s Scenario) Summary() metrics.Summary {
+	col, horizon := s.Execute()
+	return col.Summarize(horizon)
+}
