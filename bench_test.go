@@ -303,6 +303,45 @@ func BenchmarkRapidSessionHeavyBuffer(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------
+// Constellation scale (DESIGN.md §5): a 200-node orbital contact plan —
+// 8 planes × 24 satellites + 8 ground stations, the tiny-scale
+// constellation the CI benchmark job gates on — run end to end through
+// the parallel experiment engine. This is the routing hot path an order
+// of magnitude past the paper's 20 buses; its ns/op is the headline
+// number of the recorded perf trajectory (BENCH_*.json).
+
+// constellationGrid expands the tiny-scale constellation-ground family
+// (exp.TinyScale's constellation dimensions) for one RAPID arm.
+func constellationGrid(tag string) []scenario.Scenario {
+	sc := exp.TinyScale()
+	scs, err := scenario.Expand("constellation-ground", scenario.Params{
+		Tag: tag, Runs: 1, Loads: sc.ConstelLoads,
+		Protocols: []scenario.Proto{scenario.ProtoRapid},
+		Planes:    sc.ConstelPlanes, SatsPerPlane: sc.ConstelSats,
+		Ground: sc.ConstelGround, OrbitPeriod: sc.ConstelPeriod,
+		Duration: sc.ConstelPeriod,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return scs
+}
+
+func BenchmarkConstellation(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := exp.NewEngine(0, 0)
+		grid := constellationGrid(fmt.Sprintf("bench-constel-%d", i))
+		sums := e.Summaries(grid)
+		for _, s := range sums {
+			if s.Generated == 0 || s.Delivered == 0 {
+				b.Fatal("constellation run delivered nothing")
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
 // Parallel sweep engine (DESIGN.md §6): the same ≥4-scenario registry
 // sweep executed with one worker and with GOMAXPROCS workers. On
 // multi-core hardware the workers=N variant shows the engine's
@@ -323,18 +362,47 @@ func sweepGrid(tag string) []scenario.Scenario {
 	return scs
 }
 
+// constelSweepGrid is the constellation arm of the sweep benchmark: a
+// small orbital population so the sweep measures engine fan-out, not
+// one giant scenario (BenchmarkConstellation covers the 200-node run).
+func constelSweepGrid(tag string) []scenario.Scenario {
+	scs, err := scenario.Expand("constellation-ground", scenario.Params{
+		Tag: tag, Runs: 2, Loads: []float64{2, 8},
+		Protocols: []scenario.Proto{scenario.ProtoRapid, scenario.ProtoMaxProp},
+		Planes:    3, SatsPerPlane: 4, Ground: 2,
+		OrbitPeriod: 150, Duration: 300,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return scs
+}
+
 func BenchmarkSweep(b *testing.B) {
-	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
-		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				e := exp.NewEngine(workers, 0)
-				grid := sweepGrid(fmt.Sprintf("bench-sweep-%d-%d", workers, i))
-				if got := e.Summaries(grid); len(got) != len(grid) {
-					b.Fatalf("got %d summaries for %d scenarios", len(got), len(grid))
+	families := []struct {
+		name string
+		grid func(tag string) []scenario.Scenario
+	}{
+		{"synth-exponential", sweepGrid},
+		{"constellation-ground", constelSweepGrid},
+	}
+	pools := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		pools = append(pools, n)
+	}
+	for _, fam := range families {
+		for _, workers := range pools {
+			b.Run(fmt.Sprintf("family=%s/workers=%d", fam.name, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					e := exp.NewEngine(workers, 0)
+					grid := fam.grid(fmt.Sprintf("bench-sweep-%s-%d-%d", fam.name, workers, i))
+					if got := e.Summaries(grid); len(got) != len(grid) {
+						b.Fatalf("got %d summaries for %d scenarios", len(got), len(grid))
+					}
 				}
-			}
-		})
+			})
+		}
 	}
 }
 

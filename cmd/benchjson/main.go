@@ -1,0 +1,124 @@
+// Command benchjson converts `go test -bench` output into the
+// machine-readable BENCH_<date>.json format the CI bench job archives,
+// so the repository accumulates a perf trajectory instead of throwing
+// benchmark numbers away in scrolled-past logs.
+//
+// Usage:
+//
+//	go test -bench . -benchtime 3x -run xxx ./... | go run ./cmd/benchjson -out BENCH_$(date +%F).json
+//
+// Unrecognized lines (test chatter, PASS/ok footers) are skipped, so
+// the full `go test` stream can be piped in unfiltered.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// Metrics carries every remaining `value unit` pair of the line
+	// (B/op, allocs/op, and custom b.ReportMetric units).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the BENCH_<date>.json document.
+type Report struct {
+	Date       string      `json:"date"`
+	GoVersion  string      `json:"go"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	CPU        string      `json:"cpu,omitempty"`
+	Note       string      `json:"note,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	note := flag.String("note", "", "free-text annotation stored in the report")
+	flag.Parse()
+
+	rep := Report{
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Note:      *note,
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+			rep.CPU = strings.TrimSpace(cpu)
+			continue
+		}
+		if b, ok := parseBenchLine(line); ok {
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine parses one `BenchmarkName-N  iters  v unit  v unit ...`
+// result line. It reports ok=false for anything else.
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Iterations: iters}
+	// The remainder alternates value/unit.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			b.NsPerOp = v
+			continue
+		}
+		if b.Metrics == nil {
+			b.Metrics = map[string]float64{}
+		}
+		b.Metrics[unit] = v
+	}
+	if b.NsPerOp == 0 && b.Metrics == nil {
+		return Benchmark{}, false
+	}
+	return b, true
+}

@@ -153,9 +153,19 @@ func runFamily(name string, sc exp.Scale) {
 	params := scenario.Params{
 		Tag: sc.Name, Days: sc.Days, Runs: sc.Runs, DayHours: sc.DayHours,
 		Loads: sc.SynthLoads, Nodes: 20, Duration: duration,
+		Planes: sc.ConstelPlanes, SatsPerPlane: sc.ConstelSats,
+		Ground: sc.ConstelGround, OrbitPeriod: sc.ConstelPeriod,
 	}
-	if strings.HasPrefix(name, "trace") || name == "deployment" {
+	switch {
+	case strings.HasPrefix(name, "trace"), name == "deployment":
 		params.Loads = sc.TraceLoads
+	case strings.HasPrefix(name, "constellation"):
+		params.Loads = sc.ConstelLoads
+		if params.OrbitPeriod > duration {
+			// A horizon shorter than one orbit would leave most of the
+			// plan unexpanded; run at least one full period.
+			params.Duration = params.OrbitPeriod
+		}
 	}
 	scs, err := scenario.Expand(name, params)
 	if err != nil {

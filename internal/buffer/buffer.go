@@ -53,6 +53,15 @@ type Store struct {
 	// estimates for a just-created packet (younger than everything
 	// buffered) are O(1).
 	byDst map[packet.NodeID]int64
+	// queues holds, per destination, the buffered entries in delivery
+	// order (oldest (Created, ID) first — §4.1's direct-delivery queue),
+	// maintained incrementally so routers never re-scan or re-sort the
+	// whole buffer to answer per-destination questions.
+	queues map[packet.NodeID][]*Entry
+	// version counts mutations; consumers caching derived structures
+	// (RAPID's queue index and delay estimates) compare versions instead
+	// of rebuilding per contact.
+	version uint64
 }
 
 // New returns an empty store with the given byte capacity
@@ -64,6 +73,7 @@ func New(capacity int64) *Store {
 		entries:  make(map[packet.ID]*Entry),
 		index:    make(map[packet.ID]int),
 		byDst:    make(map[packet.NodeID]int64),
+		queues:   make(map[packet.NodeID][]*Entry),
 	}
 }
 
@@ -128,7 +138,30 @@ func (s *Store) Insert(e *Entry, util Utility) bool {
 	s.order = append(s.order, e)
 	s.used += need
 	s.byDst[e.P.Dst] += need
+	q := s.queues[e.P.Dst]
+	i := queuePos(q, e.P.Created, e.P.ID)
+	q = append(q, nil)
+	copy(q[i+1:], q[i:])
+	q[i] = e
+	s.queues[e.P.Dst] = q
+	s.version++
 	return true
+}
+
+// queuePos locates the delivery-order position of (created, id) in a
+// destination queue by binary search.
+func queuePos(q []*Entry, created float64, id packet.ID) int {
+	lo, hi := 0, len(q)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		e := q[mid]
+		if e.P.Created < created || (e.P.Created == created && e.P.ID < id) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // makeRoom evicts unprotected entries in increasing utility order until
@@ -185,11 +218,36 @@ func (s *Store) Remove(id packet.ID) bool {
 	s.order = s.order[:last]
 	s.used -= e.P.Size
 	s.byDst[e.P.Dst] -= e.P.Size
+	q := s.queues[e.P.Dst]
+	qi := queuePos(q, e.P.Created, e.P.ID)
+	copy(q[qi:], q[qi+1:])
+	q[len(q)-1] = nil
+	s.queues[e.P.Dst] = q[:len(q)-1]
+	s.version++
 	return true
 }
 
 // BytesFor returns the total buffered bytes destined to dst.
 func (s *Store) BytesFor(dst packet.NodeID) int64 { return s.byDst[dst] }
+
+// Version counts mutations of the store's contents.
+func (s *Store) Version() uint64 { return s.version }
+
+// Queue returns the buffered entries destined to dst in delivery order
+// (oldest first). The returned slice is shared live state — callers
+// must not modify or retain it across store mutations.
+func (s *Store) Queue(dst packet.NodeID) []*Entry { return s.queues[dst] }
+
+// EachQueue calls f once per destination with buffered packets, passing
+// the delivery-ordered queue (same sharing rules as Queue). Iteration
+// order over destinations is unspecified.
+func (s *Store) EachQueue(f func(dst packet.NodeID, q []*Entry)) {
+	for dst, q := range s.queues {
+		if len(q) > 0 {
+			f(dst, q)
+		}
+	}
+}
 
 // Ack marks a packet as delivered network-wide: the local copy (if any)
 // is dropped, including a source's own copy ("unless it receives an

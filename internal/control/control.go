@@ -158,6 +158,9 @@ type State struct {
 	acked     map[packet.ID]float64 // id -> time learned
 	meta      map[packet.ID]*PacketMeta
 	tableAsOf map[packet.NodeID]float64 // freshness of merged meet tables
+	// tableOwners mirrors tableAsOf's keys in sorted order, so the
+	// per-contact gossip loop does not re-sort the owner set.
+	tableOwners []packet.NodeID
 
 	// ackLog and metaLog are time-ordered changelogs so delta
 	// exchanges scan only what changed since the last exchange with a
@@ -165,6 +168,14 @@ type State struct {
 	// seen).
 	ackLog  []logEvent
 	metaLog []logEvent
+	// ackScratch/metaScratch are reused result buffers for the delta
+	// queries above (one exchange runs at a time per node).
+	ackScratch  []packet.ID
+	metaScratch []*PacketMeta
+
+	// metaVer counts ack/replica-metadata mutations; RAPID's estimate
+	// cache compares it instead of re-reading the state every contact.
+	metaVer uint64
 
 	lastExchange map[packet.NodeID]float64
 	// announced tracks, per peer, the delay estimate last announced for
@@ -224,6 +235,20 @@ func NewState(self packet.NodeID, hops int, g *Global) *State {
 // Self returns the owning node ID.
 func (s *State) Self() packet.NodeID { return s.self }
 
+// MetaVersion counts mutations of the ack/replica metadata this state
+// reads (the shared snapshot's, in global mode). Consumers caching
+// derived values compare versions instead of subscribing to events.
+func (s *State) MetaVersion() uint64 {
+	if s.global != nil {
+		return s.global.metaVer
+	}
+	return s.metaVer
+}
+
+// TransferObservations counts transfer-size observations folded into
+// the node's moving average — a monotone stamp for the average's value.
+func (s *State) TransferObservations() int { return s.avgTransfer.N() }
+
 // Global reports whether this state runs over the instant global
 // channel.
 func (s *State) Global() bool { return s.global != nil }
@@ -270,6 +295,7 @@ func (s *State) LearnAck(id packet.ID, now float64) {
 	if s.global != nil {
 		if _, ok := s.global.acked[id]; !ok {
 			s.global.acked[id] = now
+			s.global.metaVer++
 		}
 		return
 	}
@@ -277,6 +303,7 @@ func (s *State) LearnAck(id packet.ID, now float64) {
 		s.acked[id] = now
 		s.ackLog = appendLog(s.ackLog, now, id)
 		delete(s.meta, id)
+		s.metaVer++
 	}
 }
 
@@ -322,6 +349,7 @@ func (s *State) NoteReplica(item InventoryItem, holder packet.NodeID, now float6
 		m.Updated = now
 		s.metaLog = appendLog(s.metaLog, now, item.ID)
 	}
+	s.metaVer++
 }
 
 // DropReplica forgets that holder carries the packet (used when a node
@@ -331,6 +359,7 @@ func (s *State) DropReplica(id packet.ID, holder packet.NodeID, now float64) {
 		if m := s.global.meta[id]; m != nil {
 			m.removeReplica(holder)
 			m.Updated = now
+			s.global.metaVer++
 		}
 		return
 	}
@@ -338,6 +367,7 @@ func (s *State) DropReplica(id packet.ID, holder packet.NodeID, now float64) {
 		m.removeReplica(holder)
 		m.Updated = now
 		s.metaLog = appendLog(s.metaLog, now, id)
+		s.metaVer++
 	}
 }
 
@@ -395,6 +425,7 @@ type Global struct {
 	meta        map[packet.ID]*PacketMeta
 	avgTransfer map[packet.NodeID]float64
 	states      map[packet.NodeID]*State
+	metaVer     uint64
 }
 
 // NewGlobal returns an empty global snapshot.
@@ -418,13 +449,14 @@ func (g *Global) note(item InventoryItem, holder packet.NodeID, now float64) {
 	}
 	m.upsertReplica(holder, item.Delay, now)
 	m.Updated = now
+	g.metaVer++
 }
 
 // SyncMeetingTables mirrors every node's direct meeting table to every
 // other node — with an instant channel the matrix is globally current.
 func (g *Global) SyncMeetingTables() {
 	for _, s := range g.states {
-		t := s.Meet.DirectTable()
+		t := s.Meet.OwnTable()
 		for _, other := range g.states {
 			if other.self != s.self {
 				other.Meet.MergeTable(s.self, t)
@@ -550,11 +582,11 @@ func Exchange(a, b *State, invA, invB []InventoryItem, now float64, opts Options
 	// 4. Meeting-time tables (gossip of all known tables, delta by
 	// freshness).
 	for _, dir := range []struct{ from, to *State }{{a, b}, {b, a}} {
-		own := dir.from.Meet.DirectTable()
+		own := dir.from.Meet.OwnTable()
 		if !spendTable(dir.to, dir.from.self, own, now, spend, &res) {
 			return finishExchange(a, b, now, res)
 		}
-		for _, owner := range sortedNodeIDs(dir.from.tableAsOf) {
+		for _, owner := range dir.from.tableOwners {
 			if owner == dir.to.self || owner == dir.from.self {
 				continue
 			}
@@ -621,11 +653,25 @@ func spendTable(to *State, owner packet.NodeID, t meet.Table, asOf float64, spen
 		return false
 	}
 	to.Meet.MergeTable(owner, t)
-	if asOf > to.tableAsOf[owner] {
-		to.tableAsOf[owner] = asOf
-	}
+	to.raiseTableAsOf(owner, asOf)
 	res.Tables++
 	return true
+}
+
+// raiseTableAsOf records table freshness, keeping the sorted owner
+// mirror in sync (freshness only ever advances).
+func (s *State) raiseTableAsOf(owner packet.NodeID, asOf float64) {
+	if cur, ok := s.tableAsOf[owner]; ok {
+		if asOf > cur {
+			s.tableAsOf[owner] = asOf
+		}
+		return
+	}
+	s.tableAsOf[owner] = asOf
+	i := sort.Search(len(s.tableOwners), func(i int) bool { return s.tableOwners[i] >= owner })
+	s.tableOwners = append(s.tableOwners, 0)
+	copy(s.tableOwners[i+1:], s.tableOwners[i:])
+	s.tableOwners[i] = owner
 }
 
 // finishExchange stamps the per-peer exchange times.
@@ -633,33 +679,32 @@ func finishExchange(a, b *State, now float64, res Result) Result {
 	a.lastExchange[b.self] = now
 	b.lastExchange[a.self] = now
 	// Record the freshness of each other's own tables.
-	if now > a.tableAsOf[b.self] {
-		a.tableAsOf[b.self] = now
-	}
-	if now > b.tableAsOf[a.self] {
-		b.tableAsOf[a.self] = now
-	}
+	a.raiseTableAsOf(b.self, now)
+	b.raiseTableAsOf(a.self, now)
 	return res
 }
 
 // acksSince returns ack IDs learned after `since`, sorted for
-// determinism. The changelog makes this O(changed), not O(all acks).
+// determinism. The changelog makes this O(changed), not O(all acks);
+// the returned slice is a reused scratch valid until the next call.
 func (s *State) acksSince(since float64) []packet.ID {
 	evs := eventsAfter(s.ackLog, since)
-	out := make([]packet.ID, 0, len(evs))
+	out := s.ackScratch[:0]
 	for _, ev := range evs {
 		out = append(out, ev.id)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	s.ackScratch = out
 	return out
 }
 
 // metaChangedSince returns metadata entries updated after `since`,
-// sorted by packet ID, deduplicated from the changelog.
+// sorted by packet ID, deduplicated from the changelog. The returned
+// slice is a reused scratch valid until the next call.
 func (s *State) metaChangedSince(since float64) []*PacketMeta {
 	evs := eventsAfter(s.metaLog, since)
 	seen := make(map[packet.ID]bool, len(evs))
-	var out []*PacketMeta
+	out := s.metaScratch[:0]
 	for _, ev := range evs {
 		if seen[ev.id] {
 			continue
@@ -670,6 +715,7 @@ func (s *State) metaChangedSince(since float64) []*PacketMeta {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	s.metaScratch = out
 	return out
 }
 
@@ -694,15 +740,6 @@ func materialDelayChange(old, new float64) bool {
 	}
 	base := math.Max(math.Abs(old), 1e-9)
 	return math.Abs(new-old)/base > 0.25
-}
-
-func sortedNodeIDs(m map[packet.NodeID]float64) []packet.NodeID {
-	out := make([]packet.NodeID, 0, len(m))
-	for id := range m {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
 }
 
 // CombinedDelay applies Eq. 8/9: the expected remaining delay A(i) given

@@ -36,23 +36,15 @@ type qent struct {
 	cum     int64
 }
 
-// NewQueueIndex builds the index for a store's current contents.
+// NewQueueIndex builds the index for a store's current contents. The
+// store maintains per-destination delivery-ordered queues, so the build
+// is a linear prefix-sum pass — no scan-and-sort of the whole buffer.
 func NewQueueIndex(store *buffer.Store) *QueueIndex {
-	byDst := map[packet.NodeID][]*buffer.Entry{}
-	for _, e := range store.Entries() {
-		byDst[e.P.Dst] = append(byDst[e.P.Dst], e)
-	}
 	idx := &QueueIndex{
 		ahead: make(map[packet.ID]int64, store.Len()),
-		byDst: make(map[packet.NodeID][]qent, len(byDst)),
+		byDst: make(map[packet.NodeID][]qent),
 	}
-	for dst, q := range byDst {
-		sort.Slice(q, func(i, j int) bool {
-			if q[i].P.Created != q[j].P.Created {
-				return q[i].P.Created < q[j].P.Created // oldest first
-			}
-			return q[i].P.ID < q[j].P.ID
-		})
+	store.EachQueue(func(dst packet.NodeID, q []*buffer.Entry) {
 		ents := make([]qent, len(q))
 		var cum int64
 		for i, e := range q {
@@ -61,7 +53,7 @@ func NewQueueIndex(store *buffer.Store) *QueueIndex {
 			cum += e.P.Size
 		}
 		idx.byDst[dst] = ents
-	}
+	})
 	return idx
 }
 
@@ -101,12 +93,79 @@ func (q *QueueIndex) HypoBytesAhead(p *packet.Packet) int64 {
 // Estimator implements Estimate-Delay (§4.1) from one node's local
 // view: its own buffer, its control state (replica metadata, average
 // transfer sizes), and its meeting-time matrix.
+//
+// Estimates are cached per packet and invalidated by comparing version
+// stamps of the inputs (buffer contents, meeting matrix, transfer
+// average, replica metadata) instead of recomputing at every contact:
+// a node's estimates only move when one of those inputs moves, which
+// happens at its own meetings and ack/replica events — not with global
+// simulation time.
 type Estimator struct {
 	node *routing.Node
+
+	// Input stamps captured at the last cache epoch.
+	storeVer, meetVer, metaVer uint64
+	xferN                      int
+	// selfEpoch tags SelfDelay entries (inputs: buffer position, meeting
+	// matrix, transfer average); rateEpoch additionally covers replica
+	// metadata and so moves at least as often.
+	selfEpoch, rateEpoch uint64
+
+	selfCache map[packet.ID]cachedDelay
+	rateCache map[packet.ID]cachedRate
+}
+
+// cachedDelay is one memoized SelfDelay value. The index pointer guards
+// against callers probing a hypothetical queue index (tests, snapshot
+// utilities) polluting entries computed against the live one.
+type cachedDelay struct {
+	epoch uint64
+	idx   *QueueIndex
+	val   float64
+}
+
+// cachedRate is one memoized RateSum result.
+type cachedRate struct {
+	epoch     uint64
+	idx       *QueueIndex
+	rate      float64
+	delivered bool
 }
 
 // NewEstimator returns an estimator bound to a node.
-func NewEstimator(n *routing.Node) *Estimator { return &Estimator{node: n} }
+func NewEstimator(n *routing.Node) *Estimator {
+	return &Estimator{
+		node:      n,
+		selfCache: make(map[packet.ID]cachedDelay),
+		rateCache: make(map[packet.ID]cachedRate),
+	}
+}
+
+// sync advances the cache epochs if any estimation input changed since
+// the last call.
+func (est *Estimator) sync() {
+	sv := est.node.Store.Version()
+	mv := est.node.Ctl.Meet.Version()
+	xn := est.node.Ctl.TransferObservations()
+	cv := est.node.Ctl.MetaVersion()
+	if sv != est.storeVer || mv != est.meetVer || xn != est.xferN {
+		est.storeVer, est.meetVer, est.xferN = sv, mv, xn
+		est.metaVer = cv
+		est.selfEpoch++
+		est.rateEpoch++
+		// Every cached entry is now stale; dropping them bounds the
+		// maps at the live-packet population and releases the old
+		// QueueIndex the entries pin.
+		clear(est.selfCache)
+		clear(est.rateCache)
+		return
+	}
+	if cv != est.metaVer {
+		est.metaVer = cv
+		est.rateEpoch++
+		clear(est.rateCache)
+	}
+}
 
 // meetingsNeeded returns n_j(i), the number of meetings with the
 // destination needed to drain the queue ahead of i and send i itself.
@@ -132,13 +191,17 @@ func meetingsNeeded(bytesAhead, size int64, avgTransfer float64) float64 {
 // Returns +Inf when the destination is unreachable within the h-hop
 // matrix.
 func (est *Estimator) SelfDelay(p *packet.Packet, idx *QueueIndex) float64 {
-	em := est.node.Ctl.Meet.Expected(est.node.ID, p.Dst)
-	if math.IsInf(em, 1) {
-		return math.Inf(1)
+	est.sync()
+	if c, ok := est.selfCache[p.ID]; ok && c.epoch == est.selfEpoch && c.idx == idx {
+		return c.val
 	}
-	b := est.node.Ctl.AvgTransferBytes(est.node.Net.Cfg.DefaultTransferBytes)
-	n := meetingsNeeded(idx.BytesAhead(p.ID), p.Size, b)
-	return em * n
+	d := math.Inf(1)
+	if em := est.node.Ctl.Meet.Expected(est.node.ID, p.Dst); !math.IsInf(em, 1) {
+		b := est.node.Ctl.AvgTransferBytes(est.node.Net.Cfg.DefaultTransferBytes)
+		d = em * meetingsNeeded(idx.BytesAhead(p.ID), p.Size, b)
+	}
+	est.selfCache[p.ID] = cachedDelay{epoch: est.selfEpoch, idx: idx, val: d}
+	return d
 }
 
 // PeerDelay hypothesizes the direct-delivery time of a replica of p
@@ -178,6 +241,19 @@ func (est *Estimator) KnownDelays(p *packet.Packet, idx *QueueIndex) []float64 {
 // destination). This is the hot-path form of KnownDelays: it is
 // evaluated once per buffered packet per contact.
 func (est *Estimator) RateSum(p *packet.Packet, idx *QueueIndex) (rate float64, delivered bool) {
+	est.sync()
+	if c, ok := est.rateCache[p.ID]; ok && c.epoch == est.rateEpoch && c.idx == idx {
+		return c.rate, c.delivered
+	}
+	rate, delivered = est.rateSum(p, idx)
+	est.rateCache[p.ID] = cachedRate{
+		epoch: est.rateEpoch, idx: idx, rate: rate, delivered: delivered,
+	}
+	return rate, delivered
+}
+
+// rateSum is the uncached computation behind RateSum.
+func (est *Estimator) rateSum(p *packet.Packet, idx *QueueIndex) (rate float64, delivered bool) {
 	d := est.SelfDelay(p, idx)
 	if d == 0 {
 		return 0, true

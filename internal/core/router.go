@@ -17,6 +17,13 @@ type Router struct {
 	node   *routing.Node
 	est    *Estimator
 
+	// ownIdx caches the queue index over the node's own buffer, keyed
+	// by the store's version: Inventory, PlanReplication and the
+	// eviction utility of one contact share a single build, and a
+	// contact that leaves the buffer untouched reuses the previous one.
+	ownIdx    *QueueIndex
+	ownIdxVer uint64
+
 	// peerIdx caches the contact peer's queue index between
 	// PlanReplication and the per-send EstimateReplicaDelay calls of
 	// the same session (rebuilding it per send would reintroduce the
@@ -24,6 +31,22 @@ type Router struct {
 	peerIdx     *QueueIndex
 	peerIdxID   packet.NodeID
 	peerIdxTime float64
+
+	// Scratch buffers reused across contacts. The runtime consumes each
+	// returned slice before the node's next contact, so per-contact
+	// allocation of these (which dominated the allocation profile) is
+	// pooled away. They are per-router, never shared between nodes.
+	invScratch  []control.InventoryItem
+	dqScratch   []*buffer.Entry
+	candScratch []repCand
+	planScratch []*buffer.Entry
+}
+
+// repCand is one replication candidate during plan ranking.
+type repCand struct {
+	e    *buffer.Entry
+	key  float64
+	tail bool // no measurable marginal gain; fills leftover budget
 }
 
 // New returns a factory producing RAPID routers optimizing the given
@@ -76,10 +99,9 @@ func (r *Router) Generate(p *packet.Packet, now float64) {
 // the updated delivery delay estimate based on current buffer state",
 // §4.2).
 func (r *Router) Inventory(now float64) []control.InventoryItem {
-	idx := NewQueueIndex(r.node.Store)
-	entries := r.node.Store.Entries()
-	out := make([]control.InventoryItem, 0, len(entries))
-	for _, e := range entries {
+	idx := r.ownIndex()
+	out := r.invScratch[:0]
+	for _, e := range r.node.Store.Entries() {
 		out = append(out, control.InventoryItem{
 			ID: e.P.ID, Dst: e.P.Dst, Size: e.P.Size,
 			Created: e.P.Created, Deadline: e.P.Deadline,
@@ -87,6 +109,7 @@ func (r *Router) Inventory(now float64) []control.InventoryItem {
 			Hops:  e.Hops,
 		})
 	}
+	r.invScratch = out
 	return out
 }
 
@@ -95,12 +118,11 @@ func (r *Router) Inventory(now float64) []control.InventoryItem {
 // first for the delay metrics, earliest remaining deadline first for
 // the deadline metric.
 func (r *Router) DirectQueue(peer packet.NodeID, now float64) []*buffer.Entry {
-	var out []*buffer.Entry
-	for _, e := range r.node.Store.Entries() {
-		if e.P.Dst == peer {
-			out = append(out, e)
-		}
-	}
+	// The store's per-destination queue is already in (Created, ID)
+	// delivery order; copy it so the session can remove entries while
+	// iterating.
+	out := append(r.dqScratch[:0], r.node.Store.Queue(peer)...)
+	r.dqScratch = out
 	if r.metric == Deadline {
 		sort.Slice(out, func(i, j int) bool {
 			ei, ej := out[i], out[j]
@@ -116,7 +138,6 @@ func (r *Router) DirectQueue(peer packet.NodeID, now float64) []*buffer.Entry {
 		})
 		return out
 	}
-	sort.Slice(out, func(i, j int) bool { return olderFirst(out[i], out[j]) })
 	return out
 }
 
@@ -152,17 +173,11 @@ func olderFirst(a, b *buffer.Entry) bool {
 // session thereafter, the recalculated order is exactly decreasing
 // D(i) — which is how it is produced here.
 func (r *Router) PlanReplication(peer *routing.Node, now float64) []*buffer.Entry {
-	idx := NewQueueIndex(r.node.Store)
+	idx := r.ownIndex()
 	peerIdx := r.peerIndex(peer, now)
 	cap := delayCap(r.node.Net.Horizon)
-	type cand struct {
-		e    *buffer.Entry
-		key  float64
-		tail bool // no measurable marginal gain; fills leftover budget
-	}
-	entries := r.node.Store.Entries()
-	cands := make([]cand, 0, len(entries))
-	for _, e := range entries {
+	cands := r.candScratch[:0]
+	for _, e := range r.node.Store.Entries() {
 		if e.P.Dst == peer.ID {
 			continue
 		}
@@ -182,8 +197,9 @@ func (r *Router) PlanReplication(peer *routing.Node, now float64) []*buffer.Entr
 			rate, delivered := r.est.RateSum(e.P, idx)
 			key = marginalAvgDelay(rate, delivered, dY, cap) / float64(e.P.Size)
 		}
-		cands = append(cands, cand{e: e, key: key, tail: key <= 0})
+		cands = append(cands, repCand{e: e, key: key, tail: key <= 0})
 	}
+	r.candScratch = cands
 	sort.Slice(cands, func(i, j int) bool {
 		ci, cj := cands[i], cands[j]
 		if ci.tail != cj.tail {
@@ -200,10 +216,11 @@ func (r *Router) PlanReplication(peer *routing.Node, now float64) []*buffer.Entr
 		}
 		return ci.e.P.ID < cj.e.P.ID
 	})
-	out := make([]*buffer.Entry, len(cands))
-	for i, c := range cands {
-		out[i] = c.e
+	out := r.planScratch[:0]
+	for _, c := range cands {
+		out = append(out, c.e)
 	}
+	r.planScratch = out
 	return out
 }
 
@@ -219,8 +236,19 @@ func (r *Router) EstimateReplicaDelay(e *buffer.Entry, holder *routing.Node, now
 	return r.est.PeerDelay(holder, r.peerIndex(holder, now), e.P)
 }
 
+// ownIndex returns the queue index over the node's own buffer, rebuilt
+// only when the store has changed since the last build.
+func (r *Router) ownIndex() *QueueIndex {
+	if v := r.node.Store.Version(); r.ownIdx == nil || r.ownIdxVer != v {
+		r.ownIdx = NewQueueIndex(r.node.Store)
+		r.ownIdxVer = v
+	}
+	return r.ownIdx
+}
+
 // peerIndex returns a queue index over the peer's buffer, cached for
-// the duration of a contact (same peer, same clock).
+// the duration of a contact (same peer, same clock) — deliberately the
+// peer's just-announced state, not a live view.
 func (r *Router) peerIndex(peer *routing.Node, now float64) *QueueIndex {
 	if r.peerIdx == nil || r.peerIdxID != peer.ID || r.peerIdxTime != now {
 		r.peerIdx = NewQueueIndex(peer.Store)
@@ -231,14 +259,15 @@ func (r *Router) peerIndex(peer *routing.Node, now float64) *QueueIndex {
 }
 
 // bufferUtility returns the eviction ranking for the current metric.
-// The queue index is rebuilt lazily on first use because eviction is
-// rare relative to insertion.
+// The queue index is resolved lazily on first use because eviction is
+// rare relative to insertion; the snapshot then stays fixed for the
+// whole insert (utilities must be pure with respect to the store).
 func (r *Router) bufferUtility(now float64) buffer.Utility {
 	var idx *QueueIndex
 	cap := delayCap(r.node.Net.Horizon)
 	return func(e *buffer.Entry) float64 {
 		if idx == nil {
-			idx = NewQueueIndex(r.node.Store)
+			idx = r.ownIndex()
 		}
 		return evictionUtility(r.metric, r.est, idx, e, now, cap)
 	}

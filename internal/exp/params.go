@@ -108,6 +108,15 @@ type Scale struct {
 	// SynthDuration overrides the synthetic run length in seconds
 	// (0 = Table 4's 15 minutes).
 	SynthDuration float64
+	// ConstelPlanes × ConstelSats satellites plus ConstelGround ground
+	// stations size the constellation families; ConstelPeriod is the
+	// orbital period and ConstelLoads the families' load axis (the
+	// synthetic axis is far too hot for hundreds of destinations).
+	ConstelPlanes int
+	ConstelSats   int
+	ConstelGround int
+	ConstelPeriod float64
+	ConstelLoads  []float64
 }
 
 // TinyScale keeps unit/bench runs under a second per figure.
@@ -120,6 +129,11 @@ func TinyScale() Scale {
 		MetaFractions: []float64{0, 0.1, -1},
 		OptimalLoads:  []float64{1, 2},
 		SynthDuration: 300,
+		// 200 nodes even at tiny scale: the constellation family exists
+		// to prove the runtime handles populations an order of magnitude
+		// past the paper's 20 buses (the CI benchmark gate runs this).
+		ConstelPlanes: 8, ConstelSats: 24, ConstelGround: 8,
+		ConstelPeriod: 300, ConstelLoads: []float64{2},
 	}
 }
 
@@ -133,6 +147,8 @@ func DefaultScale() Scale {
 		Buffers:       []int64{10 << 10, 40 << 10, 100 << 10, 180 << 10, 280 << 10},
 		MetaFractions: []float64{0, 0.02, 0.05, 0.1, 0.2, 0.35, -1},
 		OptimalLoads:  []float64{1, 2, 4, 6},
+		ConstelPlanes: 12, ConstelSats: 24, ConstelGround: 12,
+		ConstelPeriod: 900, ConstelLoads: []float64{1, 4},
 	}
 }
 
@@ -146,6 +162,9 @@ func FullScale() Scale {
 		Buffers:       []int64{10 << 10, 40 << 10, 80 << 10, 120 << 10, 180 << 10, 240 << 10, 280 << 10},
 		MetaFractions: []float64{0, 0.02, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, -1},
 		OptimalLoads:  []float64{1, 2, 3, 4, 5, 6},
+		// A Starlink-shell-shaped population over a full LEO period.
+		ConstelPlanes: 24, ConstelSats: 66, ConstelGround: 24,
+		ConstelPeriod: 5400, ConstelLoads: []float64{1, 2, 4, 8},
 	}
 }
 

@@ -50,10 +50,30 @@ type Estimator struct {
 	// via the control channel. tables[self] mirrors direct.
 	tables map[packet.NodeID]Table
 
-	// version invalidates the shortest-path memo on any mutation.
+	// version invalidates the adjacency cache and shortest-path memo on
+	// any mutation.
 	version uint64
-	memoVer uint64
-	memo    map[packet.NodeID]Table
+
+	// adj is the merged matrix flattened into slice-indexed adjacency
+	// lists (node IDs are dense), maintained incrementally as pairs
+	// change: estimating over it is O(h·(V+E)) instead of the O(h·V²)
+	// that map-keyed relaxation cost, and mutations touch only the
+	// affected pair instead of rebuilding the matrix — the difference
+	// between 20-bus and 200-satellite populations.
+	n      int // node universe size: max known ID + 1
+	adj    [][]halfEdge
+	adjIdx []map[packet.NodeID]int32 // position of each neighbor in adj[u]
+
+	// memoDist caches per-source distance slices over the current
+	// adjacency.
+	memoVer  uint64
+	memoDist [][]float64
+}
+
+// halfEdge is one directed arc of the flattened meeting matrix.
+type halfEdge struct {
+	to packet.NodeID
+	w  float64
 }
 
 // New returns an estimator for node self using an h-hop horizon
@@ -62,14 +82,15 @@ func New(self packet.NodeID, hops int) *Estimator {
 	if hops <= 0 {
 		hops = DefaultHops
 	}
-	return &Estimator{
+	e := &Estimator{
 		self:     self,
 		hops:     hops,
 		direct:   make(map[packet.NodeID]*stat.MovingAverage),
 		lastSeen: make(map[packet.NodeID]float64),
 		tables:   map[packet.NodeID]Table{},
-		memo:     make(map[packet.NodeID]Table),
 	}
+	e.ensureNode(self)
+	return e
 }
 
 // Self returns the owning node's ID.
@@ -91,19 +112,89 @@ func (e *Estimator) ObserveMeeting(peer packet.NodeID, now float64) {
 	}
 	ma.Observe(now - e.lastSeen[peer]) // lastSeen defaults to 0 = epoch start
 	e.lastSeen[peer] = now
-	e.syncSelfTable()
+	// Refresh the single changed key of the mirrored self table
+	// (rebuilding the whole table per observation was O(degree) on the
+	// hottest write path).
+	t := e.tables[e.self]
+	if t == nil {
+		t = Table{}
+		e.tables[e.self] = t
+	}
+	t[peer] = ma.Value()
+	e.refreshPair(e.self, peer)
 	e.version++
 }
 
-// syncSelfTable refreshes tables[self] from the direct averages.
-func (e *Estimator) syncSelfTable() {
-	t := make(Table, len(e.direct))
-	for id, ma := range e.direct {
-		if ma.N() > 0 {
-			t[id] = ma.Value()
+// ensureNode grows the adjacency arrays to cover id.
+func (e *Estimator) ensureNode(id packet.NodeID) {
+	if int(id) < e.n {
+		return
+	}
+	e.n = int(id) + 1
+	for len(e.adj) < e.n {
+		e.adj = append(e.adj, nil)
+		e.adjIdx = append(e.adjIdx, nil)
+	}
+}
+
+// refreshPair re-derives the (u, v) edge weight from the two directed
+// table records and patches the adjacency lists in place.
+func (e *Estimator) refreshPair(u, v packet.NodeID) {
+	if u == v || u < 0 || v < 0 {
+		return
+	}
+	e.ensureNode(u)
+	e.ensureNode(v)
+	w := math.Inf(1)
+	if t, ok := e.tables[u]; ok {
+		if d, ok := t[v]; ok && d < w {
+			w = d
 		}
 	}
-	e.tables[e.self] = t
+	if t, ok := e.tables[v]; ok {
+		if d, ok := t[u]; ok && d < w {
+			w = d
+		}
+	}
+	if math.IsInf(w, 1) {
+		e.removeArc(u, v)
+		e.removeArc(v, u)
+		return
+	}
+	e.setArc(u, v, w)
+	e.setArc(v, u, w)
+}
+
+// setArc inserts or updates the directed arc u→v.
+func (e *Estimator) setArc(u, v packet.NodeID, w float64) {
+	idx := e.adjIdx[u]
+	if idx == nil {
+		idx = make(map[packet.NodeID]int32, 4)
+		e.adjIdx[u] = idx
+	}
+	if i, ok := idx[v]; ok {
+		e.adj[u][i].w = w
+		return
+	}
+	idx[v] = int32(len(e.adj[u]))
+	e.adj[u] = append(e.adj[u], halfEdge{to: v, w: w})
+}
+
+// removeArc drops the directed arc u→v if present (swap-removal).
+func (e *Estimator) removeArc(u, v packet.NodeID) {
+	idx := e.adjIdx[u]
+	i, ok := idx[v]
+	if !ok {
+		return
+	}
+	last := int32(len(e.adj[u]) - 1)
+	if i != last {
+		moved := e.adj[u][last]
+		e.adj[u][i] = moved
+		idx[moved.to] = i
+	}
+	e.adj[u] = e.adj[u][:last]
+	delete(idx, v)
 }
 
 // DirectTable returns a snapshot of this node's own averages, the
@@ -116,14 +207,55 @@ func (e *Estimator) DirectTable() Table {
 	return Table{}
 }
 
-// MergeTable installs (a copy of) owner's direct table as learned from a
-// metadata exchange, replacing any older version.
+// OwnTable returns the live internal self table — the allocation-free
+// form the control channel transmits every contact. Callers must treat
+// it as read-only and must not retain it across estimator mutations
+// (MergeTable copies, so passing it to a peer's merge is safe).
+func (e *Estimator) OwnTable() Table { return e.tables[e.self] }
+
+// MergeTable installs owner's direct table as learned from a metadata
+// exchange, replacing any older version. The merge diffs in place —
+// gossip re-delivers whole tables, but between two exchanges most
+// entries are unchanged, and only moved pairs are re-derived (a no-op
+// merge leaves the version, and therefore the shortest-path memo,
+// untouched). The passed table is not retained.
 func (e *Estimator) MergeTable(owner packet.NodeID, t Table) {
 	if owner == e.self {
 		return // own table is maintained locally
 	}
-	e.tables[owner] = t.Clone()
-	e.version++
+	old := e.tables[owner]
+	if old == nil {
+		old = make(Table, len(t))
+		e.tables[owner] = old
+	}
+	oldLen := len(old)
+	matched := 0
+	changed := false
+	for id, w := range t {
+		if ow, ok := old[id]; ok {
+			matched++
+			if ow == w {
+				continue
+			}
+		}
+		old[id] = w
+		e.refreshPair(owner, id)
+		changed = true
+	}
+	// Meeting tables only ever grow in practice; scan for removals only
+	// when some old key went unmatched.
+	if matched < oldLen {
+		for id := range old {
+			if _, still := t[id]; !still {
+				delete(old, id)
+				e.refreshPair(owner, id)
+				changed = true
+			}
+		}
+	}
+	if changed {
+		e.version++
+	}
 }
 
 // KnownTables returns the set of owners whose tables have been merged
@@ -141,6 +273,11 @@ func (e *Estimator) KnownTables() []packet.NodeID {
 // The returned map must not be modified.
 func (e *Estimator) TableOf(owner packet.NodeID) Table { return e.tables[owner] }
 
+// Version counts matrix mutations. Consumers caching derived values
+// (RAPID's delay-estimate cache) compare versions instead of
+// subscribing to events.
+func (e *Estimator) Version() uint64 { return e.version }
+
 // Expected returns E(M_from,to): the expected time for node `from` to
 // meet node `to` within at most h hops, computed as the minimum over
 // paths of at most h edges of the sum of expected direct inter-meeting
@@ -151,80 +288,62 @@ func (e *Estimator) Expected(from, to packet.NodeID) float64 {
 	if from == to {
 		return 0
 	}
-	if e.memoVer != e.version {
-		e.memo = make(map[packet.NodeID]Table)
+	if e.memoVer != e.version || len(e.memoDist) < e.n {
+		if cap(e.memoDist) < e.n {
+			e.memoDist = make([][]float64, e.n)
+		} else {
+			e.memoDist = e.memoDist[:e.n]
+			clear(e.memoDist)
+		}
 		e.memoVer = e.version
 	}
-	dist, ok := e.memo[from]
-	if !ok {
+	if int(from) < 0 || int(from) >= e.n {
+		return math.Inf(1)
+	}
+	dist := e.memoDist[from]
+	if dist == nil {
 		dist = e.shortestWithin(from)
-		e.memo[from] = dist
+		e.memoDist[from] = dist
 	}
-	if d, ok := dist[to]; ok {
-		return d
+	if int(to) < 0 || int(to) >= len(dist) {
+		return math.Inf(1)
 	}
-	return math.Inf(1)
+	return dist[to]
 }
 
-// edgeWeight returns the best known direct expected meeting time between
-// u and v. Meetings are symmetric but the two endpoints' tables can
-// disagree (different observation histories); the optimistic minimum is
-// used.
-func (e *Estimator) edgeWeight(u, v packet.NodeID) float64 {
-	w := math.Inf(1)
-	if t, ok := e.tables[u]; ok {
-		if d, ok := t[v]; ok && d < w {
-			w = d
-		}
+// shortestWithin runs h level-synchronous rounds of Bellman-Ford
+// relaxation from src over the adjacency lists, yielding min-cost paths
+// with at most h edges. Each round reads the previous round's
+// distances, so a path can never accumulate more than h hops.
+func (e *Estimator) shortestWithin(src packet.NodeID) []float64 {
+	inf := math.Inf(1)
+	cur := make([]float64, e.n)
+	next := make([]float64, e.n)
+	for i := range cur {
+		cur[i] = inf
 	}
-	if t, ok := e.tables[v]; ok {
-		if d, ok := t[u]; ok && d < w {
-			w = d
-		}
-	}
-	return w
-}
-
-// shortestWithin runs h rounds of Bellman-Ford relaxation from src over
-// the merged matrix, yielding min-cost paths with at most h edges.
-func (e *Estimator) shortestWithin(src packet.NodeID) Table {
-	// Collect the node universe: table owners and their targets.
-	universe := map[packet.NodeID]bool{src: true}
-	for owner, t := range e.tables {
-		universe[owner] = true
-		for id := range t {
-			universe[id] = true
-		}
-	}
-	dist := Table{src: 0}
+	cur[src] = 0
 	for hop := 0; hop < e.hops; hop++ {
-		next := dist.Clone()
+		copy(next, cur)
 		improved := false
-		for u, du := range dist {
+		for u, du := range cur {
 			if math.IsInf(du, 1) {
 				continue
 			}
-			for v := range universe {
-				if v == u {
-					continue
-				}
-				w := e.edgeWeight(u, v)
-				if math.IsInf(w, 1) {
-					continue
-				}
-				if dv, ok := next[v]; !ok || du+w < dv {
-					next[v] = du + w
+			for _, ed := range e.adj[u] {
+				if d := du + ed.w; d < next[ed.to] {
+					next[ed.to] = d
 					improved = true
 				}
 			}
 		}
-		dist = next
+		cur, next = next, cur
 		if !improved {
 			break
 		}
 	}
-	delete(dist, src)
-	return dist
+	cur[src] = 0
+	return cur
 }
 
 // Rate returns the meeting rate lambda = 1/E(M_from,to), or 0 when the

@@ -1,0 +1,151 @@
+package mobility
+
+import (
+	"math/rand"
+
+	"rapid/internal/packet"
+	"rapid/internal/trace"
+)
+
+// ConstellationConfig parameterizes the orbital/ring contact-plan
+// generator: Planes orbital planes of SatsPerPlane satellites each,
+// plus GroundStations ground sites. Unlike the statistical mobility
+// models, connectivity here is a deterministic contact plan — the
+// satellite-DTN setting where orbits make every future contact window
+// computable in advance (contact-graph routing's premise).
+type ConstellationConfig struct {
+	Planes         int
+	SatsPerPlane   int
+	GroundStations int
+	// OrbitPeriod is the orbital period in seconds; every periodic
+	// contact interval derives from it.
+	OrbitPeriod float64
+	// Duration is the experiment horizon in seconds.
+	Duration float64
+	// ISLBytes is the transfer opportunity of one inter-satellite
+	// contact window; GroundBytes of one ground pass.
+	ISLBytes    int64
+	GroundBytes int64
+	// JitterFrac, when positive, perturbs each contact instant by up to
+	// ±JitterFrac of its repeat interval using the schedule seed —
+	// modeling clock/ephemeris error. Zero keeps the plan strictly
+	// deterministic: every seed yields the byte-identical schedule.
+	JitterFrac float64
+}
+
+// Nodes returns the total population: ground stations occupy IDs
+// 0..GroundStations-1, satellites follow.
+func (c ConstellationConfig) Nodes() int {
+	return c.GroundStations + c.Planes*c.SatsPerPlane
+}
+
+// Sat returns the node ID of satellite m in plane p. Satellite IDs
+// interleave the planes (in-plane index varies slowest), so the first
+// Planes satellite IDs are the index-0 satellite of each plane — a
+// natural cross-plane gateway set for workloads that address the first
+// K satellites.
+func (c ConstellationConfig) Sat(p, m int) packet.NodeID {
+	return packet.NodeID(c.GroundStations + m*c.Planes + p)
+}
+
+// Constellation is the orbital/ring mobility model. Construct directly;
+// it implements Model like the statistical generators, so schedules
+// flow through the same scenario machinery.
+type Constellation struct {
+	Config ConstellationConfig
+}
+
+// Name implements Model.
+func (Constellation) Name() string { return "constellation" }
+
+// Plan builds the deterministic contact plan:
+//
+//   - intra-plane ISLs: each satellite contacts its ring successor in
+//     the same plane every OrbitPeriod/SatsPerPlane seconds, phased by
+//     its position so windows stagger instead of synchronizing;
+//   - cross-plane ISLs: each satellite contacts its same-index neighbor
+//     in the next plane every OrbitPeriod/Planes seconds, phased by half
+//     an interval against the intra-plane windows;
+//   - ground passes: each (ground, satellite) pair meets once per
+//     OrbitPeriod, the plane's satellites passing over a site in even
+//     sequence — the sub-interval phase spreads distinct sites' passes.
+func (m Constellation) Plan() *trace.ContactPlan {
+	c := m.Config
+	plan := &trace.ContactPlan{Duration: c.Duration}
+	P, M, G := c.Planes, c.SatsPerPlane, c.GroundStations
+
+	if M >= 2 {
+		gap := c.OrbitPeriod / float64(M)
+		edges := M
+		if M == 2 {
+			edges = 1 // the ring degenerates to a single pair
+		}
+		for p := 0; p < P; p++ {
+			for i := 0; i < edges; i++ {
+				phase := c.OrbitPeriod * float64(p*M+i) / float64(P*M)
+				plan.Add(c.Sat(p, i), c.Sat(p, (i+1)%M),
+					mod(phase, gap), gap, c.ISLBytes)
+			}
+		}
+	}
+	if P >= 2 {
+		gap := c.OrbitPeriod / float64(P)
+		edges := P
+		if P == 2 {
+			edges = 1
+		}
+		for i := 0; i < edges; i++ {
+			for s := 0; s < M; s++ {
+				phase := gap/2 + c.OrbitPeriod*float64(i*M+s)/float64(P*M)
+				plan.Add(c.Sat(i, s), c.Sat((i+1)%P, s),
+					mod(phase, gap), gap, c.ISLBytes)
+			}
+		}
+	}
+	if G > 0 && P*M > 0 {
+		passGap := c.OrbitPeriod / float64(max(M, 1))
+		for g := 0; g < G; g++ {
+			for p := 0; p < P; p++ {
+				for s := 0; s < M; s++ {
+					phase := passGap*float64(s) +
+						passGap*float64(g*P+p)/float64(G*P)
+					plan.Add(packet.NodeID(g), c.Sat(p, s),
+						phase, c.OrbitPeriod, c.GroundBytes)
+				}
+			}
+		}
+	}
+	return plan
+}
+
+// Schedule implements Model. With JitterFrac == 0 the draw ignores r
+// entirely — the plan is the schedule.
+func (m Constellation) Schedule(r *rand.Rand) *trace.Schedule {
+	s := m.Plan().Expand()
+	if m.Config.JitterFrac > 0 && r != nil {
+		span := m.Config.JitterFrac * m.Config.OrbitPeriod
+		for i := range s.Meetings {
+			t := s.Meetings[i].Time + (r.Float64()*2-1)*span
+			if t < 0 {
+				t = 0
+			}
+			if t >= s.Duration {
+				t = s.Duration * (1 - 1e-9)
+			}
+			s.Meetings[i].Time = t
+		}
+		s.Sort()
+	}
+	return s
+}
+
+// mod wraps x into [0, m) for positive m.
+func mod(x, m float64) float64 {
+	if m <= 0 {
+		return x
+	}
+	for x >= m {
+		x -= m
+	}
+	return x
+}

@@ -1,0 +1,133 @@
+package mobility
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"rapid/internal/packet"
+	"rapid/internal/trace"
+)
+
+func testConstellation() Constellation {
+	return Constellation{Config: ConstellationConfig{
+		Planes: 3, SatsPerPlane: 4, GroundStations: 2,
+		OrbitPeriod: 120, Duration: 360,
+		ISLBytes: 64 << 10, GroundBytes: 128 << 10,
+	}}
+}
+
+func schedBytes(t *testing.T, s *trace.Schedule) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, s); err != nil {
+		t.Fatalf("write schedule: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestConstellationPlanValid: the generated plan and its expansion pass
+// the structural validators, and the population matches the config.
+func TestConstellationPlanValid(t *testing.T) {
+	m := testConstellation()
+	plan := m.Plan()
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := plan.Expand()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Meetings) == 0 {
+		t.Fatal("empty constellation schedule")
+	}
+	if got, want := len(s.Nodes()), m.Config.Nodes(); got != want {
+		t.Fatalf("schedule covers %d nodes, want %d", got, want)
+	}
+}
+
+// TestConstellationPeriodicity: every periodic contact recurs at its
+// declared interval across the horizon — the deterministic-window
+// property contact-graph routing relies on.
+func TestConstellationPeriodicity(t *testing.T) {
+	m := testConstellation()
+	plan := m.Plan()
+	sched := plan.Expand()
+	type pair struct{ a, b packet.NodeID }
+	times := map[pair][]float64{}
+	for _, mt := range sched.Meetings {
+		p := pair{mt.A, mt.B}
+		times[p] = append(times[p], mt.Time)
+	}
+	// Index plan contacts by pair to know each pair's period.
+	for _, c := range plan.Contacts {
+		ts := times[pair{c.A, c.B}]
+		want := 0
+		if c.Period > 0 {
+			want = int(math.Ceil((plan.Duration - c.Start) / c.Period))
+		}
+		if c.Start < plan.Duration && want == 0 {
+			want = 1
+		}
+		if len(ts) != want {
+			t.Fatalf("pair (%d,%d): %d occurrences, want %d", c.A, c.B, len(ts), want)
+		}
+		for i := 1; i < len(ts); i++ {
+			if gap := ts[i] - ts[i-1]; math.Abs(gap-c.Period) > 1e-9 {
+				t.Fatalf("pair (%d,%d): gap %v, want period %v", c.A, c.B, gap, c.Period)
+			}
+		}
+	}
+}
+
+// TestConstellationDeterminism: without jitter the schedule is
+// byte-identical across draws AND across seeds (a contact plan, not a
+// statistical process); with jitter it is deterministic per seed but
+// varies across seeds.
+func TestConstellationDeterminism(t *testing.T) {
+	m := testConstellation()
+	a := schedBytes(t, m.Schedule(rand.New(rand.NewSource(1))))
+	b := schedBytes(t, m.Schedule(rand.New(rand.NewSource(2))))
+	if !bytes.Equal(a, b) {
+		t.Fatal("jitter-free constellation schedule depends on the seed")
+	}
+
+	m.Config.JitterFrac = 0.05
+	j1 := schedBytes(t, m.Schedule(rand.New(rand.NewSource(7))))
+	j2 := schedBytes(t, m.Schedule(rand.New(rand.NewSource(7))))
+	j3 := schedBytes(t, m.Schedule(rand.New(rand.NewSource(8))))
+	if !bytes.Equal(j1, j2) {
+		t.Fatal("same seed produced different jittered schedules")
+	}
+	if bytes.Equal(j1, j3) {
+		t.Fatal("different seeds produced identical jittered schedules")
+	}
+	js, err := trace.Read(bytes.NewReader(j1))
+	if err != nil {
+		t.Fatalf("read jittered schedule: %v", err)
+	}
+	if err := js.Validate(); err != nil {
+		t.Fatalf("jittered schedule invalid: %v", err)
+	}
+}
+
+// TestConstellationGroundCoverage: every ground station sees every
+// satellite exactly once per orbital period.
+func TestConstellationGroundCoverage(t *testing.T) {
+	m := testConstellation()
+	sched := m.Plan().Expand()
+	periods := m.Config.Duration / m.Config.OrbitPeriod
+	counts := map[packet.NodeID]int{}
+	for _, mt := range sched.Meetings {
+		if int(mt.A) < m.Config.GroundStations {
+			counts[mt.A]++
+		}
+	}
+	wantPer := int(periods) * m.Config.Planes * m.Config.SatsPerPlane
+	for g := 0; g < m.Config.GroundStations; g++ {
+		if got := counts[packet.NodeID(g)]; got != wantPer {
+			t.Errorf("ground %d has %d passes, want %d", g, got, wantPer)
+		}
+	}
+}

@@ -89,6 +89,9 @@ type Node struct {
 	Ctl    *control.State
 	Router Router
 	Net    *Network
+
+	// purgeScratch is the session's reused ack-purge victim buffer.
+	purgeScratch []packet.ID
 }
 
 // Network owns the nodes, the engine, and the collector for one run.

@@ -5,7 +5,6 @@ import (
 
 	"rapid/internal/buffer"
 	"rapid/internal/control"
-	"rapid/internal/packet"
 )
 
 // Session executes one transfer opportunity between two nodes,
@@ -94,7 +93,7 @@ func (s *Session) exchangeMetadata() {
 // ("flooding acknowledgments improves delivery rates by removing
 // useless packets from the network").
 func (s *Session) purgeAcked(n *Node) {
-	var victims []packet.ID
+	victims := n.purgeScratch[:0]
 	for _, e := range n.Store.Entries() {
 		if n.Ctl.IsAcked(e.P.ID) {
 			victims = append(victims, e.P.ID)
@@ -103,6 +102,7 @@ func (s *Session) purgeAcked(n *Node) {
 	for _, id := range victims {
 		n.Store.Remove(id)
 	}
+	n.purgeScratch = victims
 }
 
 // gossip lets protocol-specific state flow (free of charge — only

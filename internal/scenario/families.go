@@ -154,6 +154,44 @@ func init() {
 		},
 	})
 	Register(Family{
+		Name: "constellation-ground",
+		Doc:  "planes × sats orbital constellation relaying ground-station traffic over a deterministic periodic contact plan",
+		Gen: func(p Params) []Scenario {
+			return grid(p, false, func(_, run int, load float64, proto Proto) Scenario {
+				return Scenario{
+					Family: "constellation-ground", Tag: p.Tag,
+					Schedule: ConstellationSchedule(p),
+					Workload: constellationWorkload(load, p.Ground, p.OrbitPeriod),
+					Protocol: proto, Metric: NormalizeMetric(proto, core.AvgDelay),
+					Config: constellationOverrides(),
+					Run:    run,
+				}
+			})
+		},
+	})
+	Register(Family{
+		Name: "constellation-ring",
+		Doc:  "pure inter-satellite ring constellation (no ground segment): gateway satellites exchange traffic across the planes",
+		Gen: func(p Params) []Scenario {
+			return grid(p, false, func(_, run int, load float64, proto Proto) Scenario {
+				ss := ConstellationSchedule(p)
+				ss.Ground = 0
+				// Satellite IDs interleave planes, so the first
+				// min(8, Planes) IDs are one gateway per plane — the
+				// cross-plane traffic the family exists to isolate.
+				gateways := min(8, p.Planes)
+				return Scenario{
+					Family: "constellation-ring", Tag: p.Tag,
+					Schedule: ss,
+					Workload: constellationWorkload(load, gateways, p.OrbitPeriod),
+					Protocol: proto, Metric: NormalizeMetric(proto, core.AvgDelay),
+					Config: constellationOverrides(),
+					Run:    run,
+				}
+			})
+		},
+	})
+	Register(Family{
 		Name: "deployment",
 		Doc:  "perturbed DieselNet days standing in for the physical deployment (Table 3, Fig. 3's 'Real' arm)",
 		Gen: func(p Params) []Scenario {
@@ -178,6 +216,37 @@ func synthFamily(name string, src Source, p Params) []Scenario {
 			Run:    run,
 		}
 	})
+}
+
+// ConstellationSchedule returns the family's orbital contact-plan spec
+// for the given grid parameters. The plan is jitter-free: every seed
+// builds the byte-identical schedule (the defining property of a
+// deterministic contact plan).
+func ConstellationSchedule(p Params) ScheduleSpec {
+	return ScheduleSpec{
+		Source: SourceConstellation,
+		Planes: p.Planes, SatsPerPlane: p.SatsPerPlane, Ground: p.Ground,
+		OrbitPeriod: p.OrbitPeriod, Duration: p.Duration,
+		ISLBytes: 64 << 10, GroundBytes: 128 << 10,
+	}
+}
+
+// constellationWorkload offers Poisson traffic among the first
+// `endpoints` node IDs (the ground segment, or the gateway satellites
+// of the ring family), deadlined at one orbital period.
+func constellationWorkload(load float64, endpoints int, orbitPeriod float64) WorkloadSpec {
+	return WorkloadSpec{
+		Shape: ShapePoisson, Load: load, Window: 50,
+		PacketBytes: 1 << 10, Deadline: orbitPeriod,
+		NodeCount: endpoints, PerPair: true,
+	}
+}
+
+// constellationOverrides sizes per-node storage: satellites buffer more
+// than the 100 KB bus default but remain finite, so storage pressure —
+// and RAPID's utility-driven eviction — stays in play at scale.
+func constellationOverrides() Overrides {
+	return Overrides{BufferBytes: 256 << 10, BufferBytesSet: true}
 }
 
 // Deployment returns the perturbed-schedule scenario of the Fig. 3

@@ -24,6 +24,12 @@ type Params struct {
 	// Nodes and Duration size the synthetic-mobility populations.
 	Nodes    int
 	Duration float64
+	// Planes, SatsPerPlane and Ground size the constellation families;
+	// OrbitPeriod is the constellation's orbital period in seconds.
+	Planes       int
+	SatsPerPlane int
+	Ground       int
+	OrbitPeriod  float64
 }
 
 // DefaultParams returns a small grid: two days, one seed, two loads.
@@ -31,6 +37,7 @@ func DefaultParams() Params {
 	return Params{
 		Tag: "default", Days: 2, Runs: 1, DayHours: 4,
 		Loads: []float64{4, 20}, Nodes: 20, Duration: 300,
+		Planes: 3, SatsPerPlane: 4, Ground: 2, OrbitPeriod: 120,
 	}
 }
 

@@ -36,6 +36,9 @@ const (
 	SourceExponential
 	// SourcePowerLaw draws popularity-skewed mobility (§6.3).
 	SourcePowerLaw
+	// SourceConstellation expands a deterministic orbital/ring contact
+	// plan (satellite-DTN setting; not in the paper).
+	SourceConstellation
 )
 
 // String implements fmt.Stringer.
@@ -47,6 +50,8 @@ func (s Source) String() string {
 		return "exponential"
 	case SourcePowerLaw:
 		return "powerlaw"
+	case SourceConstellation:
+		return "constellation"
 	default:
 		return fmt.Sprintf("Source(%d)", int(s))
 	}
@@ -80,6 +85,22 @@ type ScheduleSpec struct {
 	// RankSeed fixes the popularity assignment; popularity is a property
 	// of the experiment, not of a schedule draw.
 	RankSeed int64
+
+	// Constellation fields (SourceConstellation). Ground stations get
+	// IDs 0..Ground-1, satellites follow; Duration above is the horizon.
+	Planes       int
+	SatsPerPlane int
+	Ground       int
+	// OrbitPeriod is the orbital period in seconds.
+	OrbitPeriod float64
+	// ISLBytes/GroundBytes size the inter-satellite and ground-pass
+	// transfer opportunities.
+	ISLBytes    int64
+	GroundBytes int64
+	// ConstelJitter perturbs contact instants by up to ±this fraction of
+	// the orbital period (0 = a strictly deterministic plan: every seed
+	// builds the byte-identical schedule).
+	ConstelJitter float64
 }
 
 // Build materializes the schedule. DieselNet days are deterministic in
@@ -116,6 +137,15 @@ func (ss ScheduleSpec) build(seed int64) *trace.Schedule {
 		if err != nil {
 			panic("scenario: " + err.Error())
 		}
+		return m.Schedule(rand.New(rand.NewSource(seed)))
+	case SourceConstellation:
+		m := mobility.Constellation{Config: mobility.ConstellationConfig{
+			Planes: ss.Planes, SatsPerPlane: ss.SatsPerPlane,
+			GroundStations: ss.Ground,
+			OrbitPeriod:    ss.OrbitPeriod, Duration: ss.Duration,
+			ISLBytes: ss.ISLBytes, GroundBytes: ss.GroundBytes,
+			JitterFrac: ss.ConstelJitter,
+		}}
 		return m.Schedule(rand.New(rand.NewSource(seed)))
 	default:
 		panic(fmt.Sprintf("scenario: unknown schedule source %v", ss.Source))
@@ -360,9 +390,12 @@ func (s Scenario) baseConfig() routing.Config {
 		MetaFraction: -1,
 		Hops:         3,
 	}
-	if s.Schedule.Source == SourceDieselNet {
+	switch s.Schedule.Source {
+	case SourceDieselNet:
 		cfg.DefaultTransferBytes = s.Schedule.Diesel.MeanTransferBytes
-	} else {
+	case SourceConstellation:
+		cfg.DefaultTransferBytes = float64(s.Schedule.ISLBytes)
+	default:
 		cfg.DefaultTransferBytes = float64(s.Schedule.TransferBytes)
 	}
 	return cfg

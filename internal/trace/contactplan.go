@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"rapid/internal/packet"
+)
+
+// PeriodicContact is one recurring transfer opportunity of a
+// deterministic contact plan: nodes A and B are in range at
+// Start, Start+Period, Start+2·Period, ... and can exchange Bytes bytes
+// each time. Period <= 0 declares a one-shot contact. This is the
+// contact-graph abstraction used for networks whose connectivity is
+// computable in advance — satellite constellations with known orbits,
+// scheduled data mules — as opposed to the statistical meeting processes
+// of the mobility models.
+type PeriodicContact struct {
+	A, B   packet.NodeID
+	Start  float64
+	Period float64
+	Bytes  int64
+}
+
+// ContactPlan is a deterministic, periodic contact schedule over a
+// horizon. Unlike a mobility model, expanding a plan consumes no
+// randomness: the same plan always flattens to the byte-identical
+// Schedule.
+type ContactPlan struct {
+	Contacts []PeriodicContact
+	// Duration is the expansion horizon in seconds.
+	Duration float64
+}
+
+// Add appends one periodic contact to the plan.
+func (cp *ContactPlan) Add(a, b packet.NodeID, start, period float64, bytes int64) {
+	cp.Contacts = append(cp.Contacts, PeriodicContact{
+		A: a, B: b, Start: start, Period: period, Bytes: bytes,
+	})
+}
+
+// Validate checks structural invariants of the plan itself (the
+// expanded schedule re-checks the flattened form via Schedule.Validate).
+func (cp *ContactPlan) Validate() error {
+	for i, c := range cp.Contacts {
+		if c.A == c.B {
+			return fmt.Errorf("trace: plan contact %d is a self-contact of node %d", i, c.A)
+		}
+		if c.Start < 0 || math.IsNaN(c.Start) {
+			return fmt.Errorf("trace: plan contact %d starts at %v", i, c.Start)
+		}
+		if c.Bytes < 0 {
+			return fmt.Errorf("trace: plan contact %d has negative size", i)
+		}
+	}
+	return nil
+}
+
+// Expand flattens the plan into a time-sorted meeting schedule over
+// [0, Duration). Occurrences landing exactly on the horizon are
+// excluded, matching Schedule.Validate's half-open interval.
+func (cp *ContactPlan) Expand() *Schedule {
+	s := &Schedule{Duration: cp.Duration}
+	for _, c := range cp.Contacts {
+		for t := c.Start; t < cp.Duration; t += c.Period {
+			s.Meetings = append(s.Meetings, Meeting{A: c.A, B: c.B, Time: t, Bytes: c.Bytes})
+			if c.Period <= 0 {
+				break // one-shot contact
+			}
+		}
+	}
+	s.Sort()
+	return s
+}
