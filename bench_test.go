@@ -341,6 +341,34 @@ func BenchmarkConstellation(b *testing.B) {
 	}
 }
 
+// BenchmarkConstellationPasses is the windowed twin of
+// BenchmarkConstellation: the same 200-node population under
+// duration-aware pass windows, exercising the streaming transfer path
+// (contact-start/end event pairs, per-packet completion events, radio
+// sharing) instead of instantaneous sessions.
+func BenchmarkConstellationPasses(b *testing.B) {
+	sc := exp.TinyScale()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := exp.NewEngine(0, 0)
+		grid, err := scenario.Expand("constellation-passes", scenario.Params{
+			Tag: fmt.Sprintf("bench-passes-%d", i), Runs: 1, Loads: sc.ConstelLoads,
+			Protocols: []scenario.Proto{scenario.ProtoRapid},
+			Planes:    sc.ConstelPlanes, SatsPerPlane: sc.ConstelSats,
+			Ground: sc.ConstelGround, OrbitPeriod: sc.ConstelPeriod,
+			Duration: sc.ConstelPeriod,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range e.Summaries(grid) {
+			if s.Generated == 0 || s.Delivered == 0 {
+				b.Fatal("windowed constellation run delivered nothing")
+			}
+		}
+	}
+}
+
 // ---------------------------------------------------------------------
 // Parallel sweep engine (DESIGN.md §6): the same ≥4-scenario registry
 // sweep executed with one worker and with GOMAXPROCS workers. On

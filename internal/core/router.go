@@ -27,10 +27,14 @@ type Router struct {
 	// peerIdx caches the contact peer's queue index between
 	// PlanReplication and the per-send EstimateReplicaDelay calls of
 	// the same session (rebuilding it per send would reintroduce the
-	// O(|buffer|²) cost the index exists to avoid).
-	peerIdx     *QueueIndex
-	peerIdxID   packet.NodeID
-	peerIdxTime float64
+	// O(|buffer|²) cost the index exists to avoid). It is keyed on the
+	// peer's store *version*, not the clock: two distinct contacts
+	// between the same pair at the same timestamp (duplicate trace
+	// rows, zero-period contact-plan entries) must not reuse the first
+	// contact's snapshot of the peer's buffer.
+	peerIdx    *QueueIndex
+	peerIdxID  packet.NodeID
+	peerIdxVer uint64
 
 	// Scratch buffers reused across contacts. The runtime consumes each
 	// returned slice before the node's next contact, so per-contact
@@ -174,7 +178,7 @@ func olderFirst(a, b *buffer.Entry) bool {
 // D(i) — which is how it is produced here.
 func (r *Router) PlanReplication(peer *routing.Node, now float64) []*buffer.Entry {
 	idx := r.ownIndex()
-	peerIdx := r.peerIndex(peer, now)
+	peerIdx := r.peerIndex(peer)
 	cap := delayCap(r.node.Net.Horizon)
 	cands := r.candScratch[:0]
 	for _, e := range r.node.Store.Entries() {
@@ -232,8 +236,25 @@ func (r *Router) Accept(e *buffer.Entry, from packet.NodeID, now float64) bool {
 
 // EstimateReplicaDelay implements routing.ReplicaDelayEstimator: the
 // hypothesized direct-delivery delay of the copy just pushed to holder.
+// It deliberately reads the snapshot taken at planning time (the peer's
+// just-announced state) rather than a live view: the per-send Accepts
+// of the running session bump the peer's store version, and re-indexing
+// after each one would both change the announced estimates and
+// reintroduce the O(|buffer|²) rebuild cost.
 func (r *Router) EstimateReplicaDelay(e *buffer.Entry, holder *routing.Node, now float64) float64 {
-	return r.est.PeerDelay(holder, r.peerIndex(holder, now), e.P)
+	return r.est.PeerDelay(holder, r.peerSnapshot(holder), e.P)
+}
+
+// SnapshotReplicaDelays implements routing.ReplicaDelaySnapshotter:
+// the returned closure pins the holder's planning-time queue index, so
+// a windowed session's per-send estimates survive interleaved contacts
+// at this node (which re-point the single-slot peerIdx cache at other
+// peers mid-window) without rebuilding the index per send.
+func (r *Router) SnapshotReplicaDelays(holder *routing.Node) routing.ReplicaDelayFunc {
+	idx := r.peerIndex(holder)
+	return func(e *buffer.Entry) float64 {
+		return r.est.PeerDelay(holder, idx, e.P)
+	}
 }
 
 // ownIndex returns the queue index over the node's own buffer, rebuilt
@@ -246,14 +267,27 @@ func (r *Router) ownIndex() *QueueIndex {
 	return r.ownIdx
 }
 
-// peerIndex returns a queue index over the peer's buffer, cached for
-// the duration of a contact (same peer, same clock) — deliberately the
-// peer's just-announced state, not a live view.
-func (r *Router) peerIndex(peer *routing.Node, now float64) *QueueIndex {
-	if r.peerIdx == nil || r.peerIdxID != peer.ID || r.peerIdxTime != now {
+// peerIndex returns a queue index over the peer's buffer as it stands
+// right now, reusing the cached build only while the peer's store is
+// unchanged (the index is a pure function of the store, so version
+// equality makes reuse exact). Called at planning time, it guarantees a
+// second same-timestamp contact with the same peer sees the peer's
+// post-first-contact buffer, never a stale snapshot.
+func (r *Router) peerIndex(peer *routing.Node) *QueueIndex {
+	if v := peer.Store.Version(); r.peerIdx == nil || r.peerIdxID != peer.ID || r.peerIdxVer != v {
 		r.peerIdx = NewQueueIndex(peer.Store)
 		r.peerIdxID = peer.ID
-		r.peerIdxTime = now
+		r.peerIdxVer = v
+	}
+	return r.peerIdx
+}
+
+// peerSnapshot returns the planning-time index for the peer without
+// freshness checks (see EstimateReplicaDelay). Falls back to a fresh
+// build if the cache belongs to a different peer.
+func (r *Router) peerSnapshot(peer *routing.Node) *QueueIndex {
+	if r.peerIdx == nil || r.peerIdxID != peer.ID {
+		return r.peerIndex(peer)
 	}
 	return r.peerIdx
 }

@@ -202,3 +202,103 @@ func TestNameIncludesMetric(t *testing.T) {
 		t.Error("unknown metric must stringify")
 	}
 }
+
+// TestPeerIndexFreshAcrossSameTimeContacts: two distinct contacts
+// between the same pair at the same timestamp (duplicate trace rows,
+// zero-period contact-plan entries) must not reuse the first contact's
+// snapshot of the peer's buffer. The index cache is keyed on the peer
+// store's version, which moves exactly when the buffer changes — the
+// old (peer, clock) key could not tell the two contacts apart.
+func TestPeerIndexFreshAcrossSameTimeContacts(t *testing.T) {
+	_, n0, n1 := testNet(t, AvgDelay, 0)
+	now := 50.0
+	// n1 can reach destination 2; n0 knows it transitively.
+	n0.Ctl.Meet.ObserveMeeting(1, 25)
+	n0.Ctl.Meet.MergeTable(1, map[packet.NodeID]float64{2: 100})
+	n0.Ctl.ObserveTransfer(1000)
+
+	p := &packet.Packet{ID: 1, Src: 0, Dst: 2, Size: 400, Created: 10}
+	n0.Router.Generate(p, 10)
+	r := n0.Router.(*Router)
+
+	// First contact at `now`: the hypothetical replica of p heads n1's
+	// empty queue.
+	r.PlanReplication(n1, now)
+	d1 := r.EstimateReplicaDelay(n0.Store.Get(1), n1, now)
+
+	// Between the two same-time contacts n1's buffer gains an older
+	// same-destination packet, so p's replica must now queue behind it.
+	n1.Store.Insert(&buffer.Entry{P: &packet.Packet{
+		ID: 2, Src: 3, Dst: 2, Size: 700, Created: 0,
+	}}, nil)
+
+	r.PlanReplication(n1, now) // second contact, same timestamp
+	d2 := r.EstimateReplicaDelay(n0.Store.Get(1), n1, now)
+	if !(d2 > d1) {
+		t.Fatalf("second same-time contact reused a stale peer index: delay %v -> %v (want increase)", d1, d2)
+	}
+}
+
+// TestPeerIndexSnapshotStableWithinSession: within one session the
+// per-send EstimateReplicaDelay calls keep reading the planning-time
+// snapshot even though each accepted replica bumps the peer's store
+// version — the announced estimates reflect the peer's just-announced
+// state, not a live view.
+func TestPeerIndexSnapshotStableWithinSession(t *testing.T) {
+	_, n0, n1 := testNet(t, AvgDelay, 0)
+	now := 50.0
+	n0.Ctl.Meet.ObserveMeeting(1, 25)
+	n0.Ctl.Meet.MergeTable(1, map[packet.NodeID]float64{2: 100})
+	n0.Ctl.ObserveTransfer(1000)
+
+	p := &packet.Packet{ID: 1, Src: 0, Dst: 2, Size: 400, Created: 10}
+	n0.Router.Generate(p, 10)
+	r := n0.Router.(*Router)
+
+	r.PlanReplication(n1, now) // session start: snapshot taken here
+	d1 := r.EstimateReplicaDelay(n0.Store.Get(1), n1, now)
+	// Mid-session accept at the peer (as the session's transfers do).
+	n1.Store.Insert(&buffer.Entry{P: &packet.Packet{
+		ID: 3, Src: 4, Dst: 2, Size: 500, Created: 0,
+	}}, nil)
+	d2 := r.EstimateReplicaDelay(n0.Store.Get(1), n1, now)
+	if d1 != d2 {
+		t.Fatalf("within-session estimate drifted off the planning snapshot: %v -> %v", d1, d2)
+	}
+}
+
+// TestSnapshotReplicaDelaysSurvivesInterleavedContacts: a windowed
+// session's pinned snapshot keeps answering from the planning-time
+// index even after an interleaved contact with a different peer
+// re-points the router's single-slot peer cache, and after the
+// original peer's buffer changes mid-window.
+func TestSnapshotReplicaDelaysSurvivesInterleavedContacts(t *testing.T) {
+	net, n0, n1 := testNet(t, AvgDelay, 0)
+	n2 := net.Node(2)
+	now := 50.0
+	n0.Ctl.Meet.ObserveMeeting(1, 25)
+	n0.Ctl.Meet.ObserveMeeting(2, 25)
+	n0.Ctl.Meet.MergeTable(1, map[packet.NodeID]float64{5: 100})
+	n0.Ctl.Meet.MergeTable(2, map[packet.NodeID]float64{5: 100})
+	n0.Ctl.ObserveTransfer(1000)
+
+	p := &packet.Packet{ID: 1, Src: 0, Dst: 5, Size: 400, Created: 10}
+	n0.Router.Generate(p, 10)
+	r := n0.Router.(*Router)
+
+	r.PlanReplication(n1, now)
+	snap := r.SnapshotReplicaDelays(n1)
+	d1 := snap(n0.Store.Get(1))
+
+	// Mid-window: an overlapping contact plans against another peer,
+	// and the first peer's buffer gains an older same-destination
+	// packet.
+	r.PlanReplication(n2, now)
+	n1.Store.Insert(&buffer.Entry{P: &packet.Packet{
+		ID: 7, Src: 3, Dst: 5, Size: 700, Created: 0,
+	}}, nil)
+
+	if d2 := snap(n0.Store.Get(1)); d1 != d2 {
+		t.Fatalf("pinned snapshot drifted under interleaved contacts: %v -> %v", d1, d2)
+	}
+}

@@ -22,7 +22,12 @@ type Engine struct {
 	mu    sync.Mutex
 	cache map[scenario.Scenario]metrics.Summary
 	// fifo records insertion order for eviction once limit is reached.
+	// Entries are consumed from head rather than by reslicing fifo[1:],
+	// which would pin the ever-growing backing array (every evicted key
+	// stays reachable from the slice's hidden prefix); the live region
+	// is copied down once head crosses half the backing array.
 	fifo  []scenario.Scenario
+	head  int
 	limit int
 }
 
@@ -78,10 +83,17 @@ func (e *Engine) store(sc scenario.Scenario, s metrics.Summary) {
 	if _, ok := e.cache[sc]; ok {
 		return
 	}
-	for len(e.cache) >= e.limit && len(e.fifo) > 0 {
-		oldest := e.fifo[0]
-		e.fifo = e.fifo[1:]
+	for len(e.cache) >= e.limit && e.head < len(e.fifo) {
+		oldest := e.fifo[e.head]
+		e.fifo[e.head] = scenario.Scenario{} // release the evicted key
+		e.head++
 		delete(e.cache, oldest)
+	}
+	if e.head > 0 && e.head*2 >= len(e.fifo) {
+		n := copy(e.fifo, e.fifo[e.head:])
+		clear(e.fifo[n:])
+		e.fifo = e.fifo[:n]
+		e.head = 0
 	}
 	e.cache[sc] = s
 	e.fifo = append(e.fifo, sc)

@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"rapid/internal/metrics"
 	"rapid/internal/scenario"
 )
 
@@ -164,5 +165,39 @@ func TestSweepSeriesOrder(t *testing.T) {
 	}
 	if len(fig.Series[0].X) != 2 || len(fig.Series[1].X) != 1 {
 		t.Fatalf("series lengths wrong: %+v", fig.Series)
+	}
+}
+
+// TestCacheSustainedEviction: under sustained eviction the fifo ring
+// keeps the cache at its bound, evicts strictly oldest-first, and
+// compacts its backing array instead of pinning every evicted key
+// behind a growing hidden prefix (the old fifo[1:] reslice leak).
+func TestCacheSustainedEviction(t *testing.T) {
+	e := NewEngine(1, 4)
+	mk := func(i int) scenario.Scenario {
+		sc := engineGrid("evict")[0]
+		sc.Run = i // distinct cache identity per i
+		return sc
+	}
+	const waves = 40
+	for i := 0; i < waves; i++ {
+		e.store(mk(i), metrics.Summary{Generated: i})
+		if n := e.CacheLen(); n > 4 {
+			t.Fatalf("wave %d: cache holds %d entries, limit 4", i, n)
+		}
+	}
+	// Only the four newest survive.
+	for i := 0; i < waves; i++ {
+		s, ok := e.lookup(mk(i))
+		if want := i >= waves-4; ok != want {
+			t.Fatalf("entry %d resident=%v want %v", i, ok, want)
+		}
+		if ok && s.Generated != i {
+			t.Fatalf("entry %d returned summary %d", i, s.Generated)
+		}
+	}
+	// The backing array must stay near the limit, not near `waves`.
+	if cap(e.fifo) > 16 {
+		t.Errorf("fifo backing array grew to %d for a limit-4 cache", cap(e.fifo))
 	}
 }

@@ -1,6 +1,7 @@
 package mobility
 
 import (
+	"math"
 	"math/rand"
 
 	"rapid/internal/packet"
@@ -31,7 +32,29 @@ type ConstellationConfig struct {
 	// modeling clock/ephemeris error. Zero keeps the plan strictly
 	// deterministic: every seed yields the byte-identical schedule.
 	JitterFrac float64
+
+	// Windowed-contact emission. When PassWindow > 0 the plan carries
+	// duration-aware pass windows with finite link rates instead of
+	// point opportunities (ISLBytes/GroundBytes are then ignored):
+	//
+	//   - each (ground, satellite) pairing has a fixed pass geometry
+	//     whose maximum elevation is derived deterministically from the
+	//     pair's indices; a higher pass stays in view longer and closes
+	//     a better link, so both the window duration (up to PassWindow
+	//     seconds for a zenith pass) and the rate (up to GroundRateBps)
+	//     scale with sin(max elevation);
+	//   - inter-satellite contacts last ISLWindow seconds at ISLRateBps
+	//     (vacuum ISLs have no elevation profile).
+	//
+	// All zero keeps the legacy point plan: byte-identical schedules.
+	PassWindow    float64
+	GroundRateBps float64
+	ISLWindow     float64
+	ISLRateBps    float64
 }
+
+// Windowed reports whether the config emits duration-aware contacts.
+func (c ConstellationConfig) Windowed() bool { return c.PassWindow > 0 }
 
 // Nodes returns the total population: ground stations occupy IDs
 // 0..GroundStations-1, satellites follow.
@@ -71,6 +94,12 @@ func (Constellation) Name() string { return "constellation" }
 //     sequence — the sub-interval phase spreads distinct sites' passes.
 func (m Constellation) Plan() *trace.ContactPlan {
 	c := m.Config
+	if c.Windowed() && (c.ISLWindow <= 0 || c.ISLRateBps <= 0 || c.GroundRateBps <= 0) {
+		// A half-configured windowed constellation would silently emit
+		// zero-byte point ISLs next to windowed passes; that is a
+		// config bug, not a degenerate network.
+		panic("mobility: windowed constellation (PassWindow > 0) requires ISLWindow, ISLRateBps and GroundRateBps")
+	}
 	plan := &trace.ContactPlan{Duration: c.Duration}
 	P, M, G := c.Planes, c.SatsPerPlane, c.GroundStations
 
@@ -83,8 +112,7 @@ func (m Constellation) Plan() *trace.ContactPlan {
 		for p := 0; p < P; p++ {
 			for i := 0; i < edges; i++ {
 				phase := c.OrbitPeriod * float64(p*M+i) / float64(P*M)
-				plan.Add(c.Sat(p, i), c.Sat(p, (i+1)%M),
-					mod(phase, gap), gap, c.ISLBytes)
+				m.addISL(plan, c.Sat(p, i), c.Sat(p, (i+1)%M), mod(phase, gap), gap)
 			}
 		}
 	}
@@ -97,8 +125,7 @@ func (m Constellation) Plan() *trace.ContactPlan {
 		for i := 0; i < edges; i++ {
 			for s := 0; s < M; s++ {
 				phase := gap/2 + c.OrbitPeriod*float64(i*M+s)/float64(P*M)
-				plan.Add(c.Sat(i, s), c.Sat((i+1)%P, s),
-					mod(phase, gap), gap, c.ISLBytes)
+				m.addISL(plan, c.Sat(i, s), c.Sat((i+1)%P, s), mod(phase, gap), gap)
 			}
 		}
 	}
@@ -109,13 +136,47 @@ func (m Constellation) Plan() *trace.ContactPlan {
 				for s := 0; s < M; s++ {
 					phase := passGap*float64(s) +
 						passGap*float64(g*P+p)/float64(G*P)
-					plan.Add(packet.NodeID(g), c.Sat(p, s),
-						phase, c.OrbitPeriod, c.GroundBytes)
+					if c.Windowed() {
+						sinE := passElevationSin(g, p, s)
+						w := math.Min(c.PassWindow*sinE, c.OrbitPeriod)
+						plan.AddWindow(packet.NodeID(g), c.Sat(p, s),
+							phase, c.OrbitPeriod, w, c.GroundRateBps*sinE)
+					} else {
+						plan.Add(packet.NodeID(g), c.Sat(p, s),
+							phase, c.OrbitPeriod, c.GroundBytes)
+					}
 				}
 			}
 		}
 	}
 	return plan
+}
+
+// addISL appends one inter-satellite contact in the configured form
+// (point opportunity, or a fixed-duration window at the ISL rate).
+func (m Constellation) addISL(plan *trace.ContactPlan, a, b packet.NodeID, start, gap float64) {
+	c := m.Config
+	if c.Windowed() {
+		plan.AddWindow(a, b, start, gap, math.Min(c.ISLWindow, gap), c.ISLRateBps)
+		return
+	}
+	plan.Add(a, b, start, gap, c.ISLBytes)
+}
+
+// passElevationSin returns sin(max elevation) for the fixed pass
+// geometry of ground station g and satellite (p, s): a deterministic
+// hash of the indices spread uniformly over elevations between a 10°
+// usability floor and a zenith pass. Both pass duration and link rate
+// scale with it — high passes stay in view longer and close a shorter,
+// faster link.
+func passElevationSin(g, p, s int) float64 {
+	h := uint64(g)*0x9E3779B97F4A7C15 + uint64(p)*0xBF58476D1CE4E5B9 + uint64(s)*0x94D049BB133111EB
+	h ^= h >> 31
+	h *= 0xD6E8FEB86659FD93
+	h ^= h >> 27
+	frac := float64(h>>11) / float64(1<<53)
+	const minElev = 10 * math.Pi / 180
+	return math.Sin(minElev + (math.Pi/2-minElev)*frac)
 }
 
 // Schedule implements Model. With JitterFrac == 0 the draw ignores r
@@ -133,6 +194,17 @@ func (m Constellation) Schedule(r *rand.Rand) *trace.Schedule {
 				t = s.Duration * (1 - 1e-9)
 			}
 			s.Meetings[i].Time = t
+		}
+		for i := range s.Contacts {
+			c := &s.Contacts[i]
+			t := c.Start + (r.Float64()*2-1)*span
+			if t < 0 {
+				t = 0
+			}
+			if hi := s.Duration - c.Duration; t > hi {
+				t = hi // keep the whole window inside the horizon
+			}
+			c.Start = t
 		}
 		s.Sort()
 	}

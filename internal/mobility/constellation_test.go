@@ -131,3 +131,96 @@ func TestConstellationGroundCoverage(t *testing.T) {
 		}
 	}
 }
+
+func testWindowedConstellation() Constellation {
+	m := testConstellation()
+	m.Config.PassWindow = 12
+	m.Config.GroundRateBps = 16 << 10
+	m.Config.ISLWindow = 6
+	m.Config.ISLRateBps = 8 << 10
+	return m
+}
+
+// TestConstellationPassWindows: the windowed config emits a valid
+// all-window plan whose ground passes carry elevation-driven durations
+// and rates — diverse across pass geometries, bounded by the zenith
+// pass, and deterministic across builds.
+func TestConstellationPassWindows(t *testing.T) {
+	m := testWindowedConstellation()
+	plan := m.Plan()
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := plan.Expand()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Meetings) != 0 || len(s.Contacts) == 0 {
+		t.Fatalf("windowed plan expanded to %d meetings / %d contacts",
+			len(s.Meetings), len(s.Contacts))
+	}
+	groundDur := map[float64]bool{}
+	for _, c := range s.Contacts {
+		if !c.Windowed() {
+			t.Fatalf("point contact %+v in windowed plan", c)
+		}
+		ground := c.A < packet.NodeID(m.Config.GroundStations)
+		if ground {
+			if c.Duration > m.Config.PassWindow || c.RateBps > m.Config.GroundRateBps {
+				t.Fatalf("pass %+v exceeds its zenith bounds", c)
+			}
+			// Duration and rate share the sin(elevation) factor —
+			// except for windows clipped by the expansion horizon.
+			if clipped := c.End() == s.Duration; !clipped {
+				if r := c.Duration / m.Config.PassWindow * m.Config.GroundRateBps; math.Abs(r-c.RateBps) > 1e-6 {
+					t.Fatalf("pass %+v: duration and rate disagree on elevation", c)
+				}
+			}
+			groundDur[c.Duration] = true
+		} else if c.Duration != m.Config.ISLWindow || c.RateBps != m.Config.ISLRateBps {
+			t.Fatalf("ISL window %+v not at configured shape", c)
+		}
+	}
+	if len(groundDur) < 4 {
+		t.Errorf("only %d distinct pass durations: elevation profile not driving windows", len(groundDur))
+	}
+	// Deterministic: same config, byte-identical schedule.
+	a, b := m.Plan().Expand(), m.Plan().Expand()
+	if len(a.Contacts) != len(b.Contacts) {
+		t.Fatal("windowed expansion not deterministic")
+	}
+	for i := range a.Contacts {
+		if a.Contacts[i] != b.Contacts[i] {
+			t.Fatalf("contact %d differs between builds", i)
+		}
+	}
+}
+
+// TestConstellationWindowedJitterStaysValid: schedule-level jitter
+// moves window starts but never pushes a window outside the horizon.
+func TestConstellationWindowedJitterStaysValid(t *testing.T) {
+	m := testWindowedConstellation()
+	m.Config.JitterFrac = 0.2
+	s := m.Schedule(rand.New(rand.NewSource(9)))
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Contacts) == 0 {
+		t.Fatal("jittered windowed schedule empty")
+	}
+}
+
+// TestConstellationWindowedHalfConfigPanics: enabling pass windows
+// without the ISL/ground rate fields would silently emit zero-byte
+// point ISLs next to windowed passes; Plan refuses the half-configured
+// state.
+func TestConstellationWindowedHalfConfigPanics(t *testing.T) {
+	m := testWindowedConstellation()
+	m.Config.ISLWindow = 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("half-configured windowed constellation must panic")
+		}
+	}()
+	m.Plan()
+}

@@ -5,6 +5,12 @@
 // the scenario driver that replays a meeting schedule against a
 // workload.
 //
+// Transfer opportunities come in two forms. Point meetings execute an
+// instantaneous Session (session.go). Duration-aware contacts open at
+// their start event, budget RateBps·Duration bytes, and stream packets
+// across the window — cut off at window close, with overlapping windows
+// sharing each node's radio fairly (window.go).
+//
 // The runtime enforces the feasibility constraints of §3.1: the total
 // bytes moved during a meeting (control plus data, both directions)
 // never exceed the transfer opportunity, and buffered bytes never
@@ -103,6 +109,9 @@ type Network struct {
 	Global    *control.Global // non-nil in ControlGlobal mode
 	// Horizon is the experiment end time (schedule duration).
 	Horizon float64
+	// win tracks live windowed contacts and per-node radio load;
+	// allocated lazily by the first windowed contact (window.go).
+	win *windowState
 }
 
 // Now returns the simulation clock.
@@ -170,6 +179,21 @@ type ReplicationObserver interface {
 // plane's metadata before the receiver's next exchange refreshes it).
 type ReplicaDelayEstimator interface {
 	EstimateReplicaDelay(e *buffer.Entry, holder *Node, now float64) float64
+}
+
+// ReplicaDelayFunc evaluates the hypothesized delay of replicating an
+// entry to a fixed holder, against a fixed planning-time snapshot of
+// that holder's state.
+type ReplicaDelayFunc func(e *buffer.Entry) float64
+
+// ReplicaDelaySnapshotter is an optional refinement of
+// ReplicaDelayEstimator for sessions that outlive their planning
+// instant (windowed contacts): the returned closure pins the holder
+// snapshot taken *now*, so later per-send evaluations stay consistent
+// even when interleaved contacts at the same node re-point the
+// router's internal caches at other peers.
+type ReplicaDelaySnapshotter interface {
+	SnapshotReplicaDelays(holder *Node) ReplicaDelayFunc
 }
 
 // RouterFactory builds a fresh Router per node.
@@ -241,6 +265,29 @@ func Run(sc Scenario) *metrics.Collector {
 		engine.ScheduleFunc(m.Time, func(e *sim.Engine) {
 			RunSession(net, net.Node(m.A), net.Node(m.B), m.Bytes)
 		})
+	}
+	for _, c := range sc.Schedule.Contacts {
+		c := c
+		if !c.Windowed() {
+			// Zero-duration contacts degrade to point meetings: the
+			// instantaneous session, byte for byte.
+			engine.ScheduleFunc(c.Start, func(e *sim.Engine) {
+				RunSession(net, net.Node(c.A), net.Node(c.B), c.Bytes)
+			})
+			continue
+		}
+		end := c.End()
+		if sc.Schedule.Duration > 0 && end > sc.Schedule.Duration {
+			end = sc.Schedule.Duration // never leave a window dangling past the horizon
+		}
+		var w *winContact
+		engine.ScheduleSpan(c.Start, end,
+			func(e *sim.Engine) { w = openWindow(net, c) },
+			func(e *sim.Engine) {
+				if w != nil {
+					closeWindow(net, w)
+				}
+			})
 	}
 	engine.RunUntil(sc.Schedule.Duration)
 	return net.Collector

@@ -58,7 +58,11 @@ func (s *Session) Remaining() int64 { return s.budget }
 // bytes against the opportunity.
 func (s *Session) exchangeMetadata() {
 	cfg := s.net.Cfg
-	if cfg.Mode == ControlNone || cfg.MetaFraction == 0 {
+	// MetaFraction == 0 disables the *in-band* metadata channel; the
+	// instant global channel costs no bandwidth (§6.2.3), so a zero cap
+	// must not suppress its snapshot sync — only ControlNone and a
+	// zero-capped in-band channel skip the exchange entirely.
+	if cfg.Mode == ControlNone || (cfg.Mode != ControlGlobal && cfg.MetaFraction == 0) {
 		// Even without a metadata channel the radios discover each
 		// other; meeting history is observable locally.
 		s.x.Ctl.Meet.ObserveMeeting(s.y.ID, s.now)
@@ -116,25 +120,48 @@ func (s *Session) gossip() {
 	}
 }
 
+// directEligible applies Step 2's per-candidate filters: a packet that
+// exceeds the remaining budget is skipped (a smaller packet later in
+// the queue may still fit); a packet already known delivered and acked
+// is purged without transmission. Shared by the instantaneous and
+// windowed paths.
+func (s *Session) directEligible(e *buffer.Entry, from *Node) (send, purge bool) {
+	if s.budget < e.P.Size {
+		return false, false
+	}
+	if s.net.Collector.IsDelivered(e.P.ID) && from.Ctl.IsAcked(e.P.ID) {
+		return false, true
+	}
+	return true, false
+}
+
+// deliverDirect finalizes one direct delivery: collector accounting,
+// the in-person acknowledgment at both ends ("both parties instantly
+// know the packet is delivered: the destination generated the ack"),
+// and removal of the sender's copy. Shared by the instantaneous and
+// windowed paths.
+func (s *Session) deliverDirect(from, to *Node, e *buffer.Entry, now float64) {
+	s.net.Collector.DataBytes += e.P.Size
+	s.net.Collector.DirectDeliveries++
+	s.net.Collector.Delivered(e.P.ID, now, e.Hops+1)
+	from.Ctl.LearnAck(e.P.ID, now)
+	to.Ctl.LearnAck(e.P.ID, now)
+	from.Store.Remove(e.P.ID)
+}
+
 // directDeliver sends packets destined to `to` (Protocol rapid Step 2).
 func (s *Session) directDeliver(from, to *Node) {
 	for _, e := range from.Router.DirectQueue(to.ID, s.now) {
-		if s.budget < e.P.Size {
-			continue // a smaller packet later in the queue may still fit
-		}
-		if s.net.Collector.IsDelivered(e.P.ID) && from.Ctl.IsAcked(e.P.ID) {
+		send, purge := s.directEligible(e, from)
+		if purge {
 			from.Store.Remove(e.P.ID)
 			continue
 		}
+		if !send {
+			continue
+		}
 		s.budget -= e.P.Size
-		s.net.Collector.DataBytes += e.P.Size
-		s.net.Collector.DirectDeliveries++
-		s.net.Collector.Delivered(e.P.ID, s.now, e.Hops+1)
-		// Both parties instantly know the packet is delivered: the
-		// destination generated the ack in person.
-		from.Ctl.LearnAck(e.P.ID, s.now)
-		to.Ctl.LearnAck(e.P.ID, s.now)
-		from.Store.Remove(e.P.ID)
+		s.deliverDirect(from, to, e, s.now)
 	}
 }
 
@@ -157,57 +184,80 @@ func (s *Session) replicate() {
 	}
 }
 
+// replicableState applies the Step 3 filters that can change while a
+// packet is in flight: the candidate must not be a direct delivery,
+// must still be held by the sender, and must be new to and unacked at
+// both ends. Shared by the instantaneous path (at transfer time) and
+// the windowed path (at selection and again at completion).
+func replicableState(e *buffer.Entry, from, to *Node) bool {
+	id := e.P.ID
+	return e.P.Dst != to.ID && // would be direct delivery (Step 2)
+		from.Store.Has(id) && // not evicted/delivered since planning
+		!to.Store.Has(id) && // Step 3a: peer does not already hold it
+		!from.Ctl.IsAcked(id) && !to.Ctl.IsAcked(id)
+}
+
+// replicable is replicableState plus the budget filter applied at
+// selection time (an oversized candidate is skipped; a smaller one
+// later in the plan may still fit).
+func (s *Session) replicable(e *buffer.Entry, from, to *Node) bool {
+	return replicableState(e, from, to) && e.P.Size <= s.budget
+}
+
+// acceptReplica stores the transmitted copy at the receiver and runs
+// the shared post-transfer bookkeeping: replication observers, then —
+// only if the receiver keeps the copy — data accounting and the
+// replica notes at both ends, primed with the sender's hypothesized
+// delivery estimate for the new replica (RAPID's d_Y; it refreshes at
+// the receiver's next exchange either way). delayOf pins a windowed
+// session's planning-time snapshot; nil selects the live estimator,
+// which is exact for the instantaneous path.
+func (s *Session) acceptReplica(from, to *Node, e *buffer.Entry, now float64, delayOf ReplicaDelayFunc) bool {
+	copyEntry := &buffer.Entry{
+		P:          e.P,
+		ReceivedAt: now,
+		Hops:       e.Hops + 1,
+		Tokens:     e.Tokens, // router hooks may adjust
+	}
+	if obs, ok := from.Router.(ReplicationObserver); ok {
+		obs.OnReplicated(e, copyEntry, to.ID)
+	}
+	if !to.Router.Accept(copyEntry, from.ID, now) {
+		return false
+	}
+	s.net.Collector.DataBytes += e.P.Size
+	s.net.Collector.Replications++
+	delay := math.Inf(1)
+	switch {
+	case delayOf != nil:
+		delay = delayOf(e)
+	default:
+		if est, ok := from.Router.(ReplicaDelayEstimator); ok {
+			delay = est.EstimateReplicaDelay(e, to, now)
+		}
+	}
+	item := control.InventoryItem{
+		ID: e.P.ID, Dst: e.P.Dst, Size: e.P.Size,
+		Created: e.P.Created, Deadline: e.P.Deadline,
+		Delay: delay, Hops: copyEntry.Hops,
+	}
+	from.Ctl.NoteReplica(item, to.ID, now)
+	to.Ctl.NoteReplica(item, to.ID, now)
+	return true
+}
+
 // replicateNext transfers the next eligible candidate from plan[i:],
 // returning the advanced index and whether this direction is done.
 func (s *Session) replicateNext(from, to *Node, plan []*buffer.Entry, i int) (int, bool) {
 	for ; i < len(plan); i++ {
 		e := plan[i]
-		if e.P.Dst == to.ID {
-			continue // would be direct delivery, handled in Step 2
-		}
-		if !from.Store.Has(e.P.ID) {
-			continue // evicted or delivered since planning
-		}
-		if to.Store.Has(e.P.ID) {
-			continue // Step 3a: peer already has it
-		}
-		if from.Ctl.IsAcked(e.P.ID) || to.Ctl.IsAcked(e.P.ID) {
+		if !s.replicable(e, from, to) {
 			continue
-		}
-		if e.P.Size > s.budget {
-			continue // try a smaller candidate
 		}
 		// Transmit. Bytes are spent whether or not the receiver keeps
 		// the copy (the radio already sent them).
 		s.budget -= e.P.Size
-		copyEntry := &buffer.Entry{
-			P:          e.P,
-			ReceivedAt: s.now,
-			Hops:       e.Hops + 1,
-			Tokens:     e.Tokens, // router hooks may adjust
-		}
-		if obs, ok := from.Router.(ReplicationObserver); ok {
-			obs.OnReplicated(e, copyEntry, to.ID)
-		}
-		if to.Router.Accept(copyEntry, from.ID, s.now) {
-			s.net.Collector.DataBytes += e.P.Size
-			s.net.Collector.Replications++
-			// Both ends now know the replica exists. The sender
-			// supplies its hypothesized delivery estimate for the new
-			// replica if the protocol computes one (RAPID's d_Y); it
-			// refreshes at the receiver's next exchange either way.
-			delay := math.Inf(1)
-			if est, ok := from.Router.(ReplicaDelayEstimator); ok {
-				delay = est.EstimateReplicaDelay(e, to, s.now)
-			}
-			item := control.InventoryItem{
-				ID: e.P.ID, Dst: e.P.Dst, Size: e.P.Size,
-				Created: e.P.Created, Deadline: e.P.Deadline,
-				Delay: delay, Hops: copyEntry.Hops,
-			}
-			from.Ctl.NoteReplica(item, to.ID, s.now)
-			to.Ctl.NoteReplica(item, to.ID, s.now)
-		}
+		s.acceptReplica(from, to, e, s.now, nil)
 		return i + 1, false
 	}
 	return i, true

@@ -1,0 +1,239 @@
+package routing_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"rapid/internal/core"
+	"rapid/internal/mobility"
+	"rapid/internal/packet"
+	"rapid/internal/routing"
+	"rapid/internal/routing/epidemic"
+	"rapid/internal/trace"
+)
+
+// windowPair builds a one-window scenario between nodes 0 and 1 with
+// the in-band metadata channel disabled, so byte and time accounting
+// are exact.
+func windowPair(w packet.Workload, contacts ...trace.Contact) routing.Scenario {
+	return routing.Scenario{
+		Schedule: &trace.Schedule{Duration: 200, Contacts: contacts},
+		Workload: w,
+		Factory:  epidemic.New(),
+		Cfg:      routing.Config{Mode: routing.ControlInBand, MetaFraction: 0},
+		Seed:     1,
+	}
+}
+
+// TestZeroDurationContactsMatchMeetings: a schedule expressed as
+// zero-duration contacts produces the byte-identical summary of the
+// same schedule expressed as point meetings — the degradation rule that
+// keeps every legacy schedule valid.
+func TestZeroDurationContactsMatchMeetings(t *testing.T) {
+	model := mobility.Exponential{Config: mobility.Config{
+		Nodes: 10, Duration: 600, MeanMeeting: 30, TransferBytes: 4 << 10,
+	}}
+	sched := model.Schedule(rand.New(rand.NewSource(7)))
+	asContacts := &trace.Schedule{Duration: sched.Duration}
+	for _, m := range sched.Meetings {
+		asContacts.Contacts = append(asContacts.Contacts,
+			trace.Contact{A: m.A, B: m.B, Start: m.Time, Bytes: m.Bytes})
+	}
+	w := packet.Generate(packet.GenConfig{
+		Nodes: sched.Nodes(), PacketsPerHourPerDest: 5, LoadWindow: 100,
+		Duration: 600, PacketSize: 1024, FirstID: 1,
+	}, rand.New(rand.NewSource(8)))
+
+	for _, arm := range []struct {
+		name    string
+		factory routing.RouterFactory
+	}{
+		{"epidemic", epidemic.New()},
+		{"rapid", core.New(core.AvgDelay)},
+	} {
+		cfg := routing.Config{BufferBytes: 64 << 10, Mode: routing.ControlInBand, MetaFraction: -1}
+		run := func(s *trace.Schedule) interface{} {
+			return routing.Run(routing.Scenario{
+				Schedule: s, Workload: w, Factory: arm.factory, Cfg: cfg, Seed: 3,
+			}).Summarize(s.Duration)
+		}
+		if a, b := run(sched), run(asContacts); !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: zero-duration contacts diverge from meetings:\n%+v\n%+v", arm.name, a, b)
+		}
+	}
+}
+
+// TestWindowStreamsAtLinkRate: a packet streamed across a window is
+// delivered when its last byte arrives — Start + Size/RateBps — not at
+// the window's start instant.
+func TestWindowStreamsAtLinkRate(t *testing.T) {
+	w := packet.Workload{{ID: 1, Src: 0, Dst: 1, Size: 500, Created: 10}}
+	c := routing.Run(windowPair(w,
+		trace.Contact{A: 0, B: 1, Start: 50, Duration: 10, RateBps: 100}))
+	s := c.Summarize(200)
+	if s.Delivered != 1 {
+		t.Fatalf("delivered=%d want 1", s.Delivered)
+	}
+	// 500 B at 100 B/s: completes at t=55; created at 10 → delay 45.
+	if s.AvgDelay != 45 {
+		t.Errorf("delay=%v want 45 (windowed transfers must take Size/Rate)", s.AvgDelay)
+	}
+	if s.OpportunityBytes != 1000 {
+		t.Errorf("opportunity=%d want Rate×Duration=1000", s.OpportunityBytes)
+	}
+}
+
+// TestWindowedMatchesPointDeliverySet: a lone window with capacity
+// equal to a point meeting's opportunity delivers the same packet set
+// and moves the same data bytes — delays differ (streaming takes
+// time), feasibility does not.
+func TestWindowedMatchesPointDeliverySet(t *testing.T) {
+	var w packet.Workload
+	for i := 0; i < 4; i++ {
+		w = append(w, &packet.Packet{ID: packet.ID(i + 1), Src: 0, Dst: 1, Size: 1024, Created: float64(i)})
+	}
+	w = append(w, &packet.Packet{ID: 9, Src: 1, Dst: 0, Size: 1024, Created: 2})
+	w.Sort()
+
+	point := windowPair(w, trace.Contact{A: 0, B: 1, Start: 50, Bytes: 5000})
+	windowed := windowPair(w, trace.Contact{A: 0, B: 1, Start: 50, Duration: 5, RateBps: 1000})
+	sp := routing.Run(point).Summarize(200)
+	sw := routing.Run(windowed).Summarize(200)
+	if sp.Delivered != sw.Delivered || sp.DataBytes != sw.DataBytes {
+		t.Errorf("window diverges from equal-capacity point: point %d/%dB, window %d/%dB",
+			sp.Delivered, sp.DataBytes, sw.Delivered, sw.DataBytes)
+	}
+	if sp.Delivered != 4 { // the 5th packet exceeds the shared budget
+		t.Errorf("delivered=%d want 4", sp.Delivered)
+	}
+}
+
+// TestOverlappingWindowsShareRadio: two simultaneous windows at one
+// node halve each other's rate, so a packet that fits a dedicated
+// window is cut off when the radio is shared — and delivered again once
+// the windows are staggered.
+func TestOverlappingWindowsShareRadio(t *testing.T) {
+	w := packet.Workload{
+		{ID: 1, Src: 0, Dst: 1, Size: 900, Created: 0},
+		{ID: 2, Src: 0, Dst: 2, Size: 900, Created: 0},
+	}
+	// Overlapping: node 0 serves both windows at once → 50 B/s each →
+	// 900 B needs 18 s against a 10 s window: both cut off.
+	overlap := routing.Run(windowPair(w,
+		trace.Contact{A: 0, B: 1, Start: 50, Duration: 10, RateBps: 100},
+		trace.Contact{A: 0, B: 2, Start: 50, Duration: 10, RateBps: 100},
+	)).Summarize(200)
+	if overlap.Delivered != 0 {
+		t.Errorf("overlapping windows delivered %d, want 0 (shared radio cuts both off)", overlap.Delivered)
+	}
+	if overlap.DataBytes != 0 {
+		t.Errorf("cut-off transfers counted %d data bytes", overlap.DataBytes)
+	}
+
+	// Staggered: each window has the radio to itself → 9 s per packet.
+	staggered := routing.Run(windowPair(w,
+		trace.Contact{A: 0, B: 1, Start: 50, Duration: 10, RateBps: 100},
+		trace.Contact{A: 0, B: 2, Start: 70, Duration: 10, RateBps: 100},
+	)).Summarize(200)
+	if staggered.Delivered != 2 {
+		t.Errorf("staggered windows delivered %d, want 2", staggered.Delivered)
+	}
+}
+
+// TestWindowReleasesRadioMidFlight: when one of two overlapping windows
+// closes, the survivor's in-flight transfer speeds back up to the full
+// rate and completes within its window.
+func TestWindowReleasesRadioMidFlight(t *testing.T) {
+	w := packet.Workload{{ID: 1, Src: 0, Dst: 1, Size: 900, Created: 0}}
+	// Window (0,1) spans [50,62); a second window (0,2) occupies the
+	// radio over [50,54). The transfer runs at 50 B/s for 4 s (200 B),
+	// then 100 B/s for the remaining 700 B → completes at 61 < 62.
+	c := routing.Run(windowPair(w,
+		trace.Contact{A: 0, B: 1, Start: 50, Duration: 12, RateBps: 100},
+		trace.Contact{A: 0, B: 2, Start: 50, Duration: 4, RateBps: 100},
+	))
+	s := c.Summarize(200)
+	if s.Delivered != 1 {
+		t.Fatalf("delivered=%d want 1 (radio freed mid-flight)", s.Delivered)
+	}
+	if s.AvgDelay != 61 {
+		t.Errorf("delay=%v want 61 (rate must rebound when the other window closes)", s.AvgDelay)
+	}
+}
+
+// TestSessionInvariantAllControlModes: control+data bytes (both
+// directions) never exceed the opportunity, for point meetings and for
+// windows, across every ControlMode and metadata cap. Single-contact
+// scenarios make the aggregate assertion a per-contact one.
+func TestSessionInvariantAllControlModes(t *testing.T) {
+	var w packet.Workload
+	for i := 0; i < 25; i++ {
+		w = append(w, &packet.Packet{ID: packet.ID(i + 1), Src: 0, Dst: 2, Size: 512, Created: float64(i % 10)})
+		w = append(w, &packet.Packet{ID: packet.ID(i + 100), Src: 1, Dst: 3, Size: 512, Created: float64(i % 10)})
+	}
+	w.Sort()
+	contacts := map[string]trace.Contact{
+		"point":  {A: 0, B: 1, Start: 20, Bytes: 3000},
+		"window": {A: 0, B: 1, Start: 20, Duration: 15, RateBps: 200},
+	}
+	modes := []struct {
+		name string
+		mode routing.ControlMode
+		frac float64
+	}{
+		{"in-band-uncapped", routing.ControlInBand, -1},
+		{"in-band-capped", routing.ControlInBand, 0.1},
+		{"in-band-disabled", routing.ControlInBand, 0},
+		{"global", routing.ControlGlobal, -1},
+		{"global-zero-frac", routing.ControlGlobal, 0},
+		{"none", routing.ControlNone, -1},
+	}
+	for cname, contact := range contacts {
+		for _, m := range modes {
+			c := routing.Run(routing.Scenario{
+				Schedule: &trace.Schedule{Duration: 100, Contacts: []trace.Contact{contact}},
+				Workload: w,
+				Factory:  core.New(core.AvgDelay),
+				Cfg:      routing.Config{Mode: m.mode, MetaFraction: m.frac, DefaultTransferBytes: 1000},
+				Seed:     1,
+			})
+			s := c.Summarize(100)
+			if s.DataBytes+s.MetaBytes > s.OpportunityBytes {
+				t.Errorf("%s/%s: data %d + meta %d exceed opportunity %d",
+					cname, m.name, s.DataBytes, s.MetaBytes, s.OpportunityBytes)
+			}
+			if m.mode == routing.ControlGlobal && s.MetaBytes != 0 {
+				t.Errorf("%s/%s: global channel charged %d meta bytes", cname, m.name, s.MetaBytes)
+			}
+		}
+	}
+}
+
+// TestGlobalChannelSyncsWithZeroMetaFraction: MetaFraction == 0
+// disables the in-band channel only; the instant global channel costs
+// nothing, so its snapshot sync must run regardless of the cap — a
+// ControlGlobal run with a zero cap is identical to an uncapped one.
+func TestGlobalChannelSyncsWithZeroMetaFraction(t *testing.T) {
+	model := mobility.Exponential{Config: mobility.Config{
+		Nodes: 8, Duration: 500, MeanMeeting: 40, TransferBytes: 8 << 10,
+	}}
+	sched := model.Schedule(rand.New(rand.NewSource(11)))
+	w := packet.Generate(packet.GenConfig{
+		Nodes: sched.Nodes(), PacketsPerHourPerDest: 4, LoadWindow: 100,
+		Duration: 500, PacketSize: 1024, FirstID: 1,
+	}, rand.New(rand.NewSource(12)))
+	run := func(frac float64) interface{} {
+		return routing.Run(routing.Scenario{
+			Schedule: sched, Workload: w, Factory: core.New(core.AvgDelay),
+			Cfg: routing.Config{
+				BufferBytes: 32 << 10, Mode: routing.ControlGlobal, MetaFraction: frac,
+			},
+			Seed: 5,
+		}).Summarize(500)
+	}
+	if capped, uncapped := run(0), run(-1); !reflect.DeepEqual(capped, uncapped) {
+		t.Errorf("zero MetaFraction silently disabled the global snapshot sync:\nfrac=0:  %+v\nfrac=-1: %+v",
+			capped, uncapped)
+	}
+}

@@ -192,6 +192,43 @@ func init() {
 		},
 	})
 	Register(Family{
+		Name: "constellation-passes",
+		Doc:  "orbital constellation with duration-aware pass windows: elevation-driven ground-pass durations and per-pass link rates, streamed transfers, radio sharing across overlapping windows",
+		Gen: func(p Params) []Scenario {
+			return grid(p, false, func(_, run int, load float64, proto Proto) Scenario {
+				return Scenario{
+					Family: "constellation-passes", Tag: p.Tag,
+					Schedule: PassesSchedule(p),
+					Workload: constellationWorkload(load, p.Ground, p.OrbitPeriod),
+					Protocol: proto, Metric: NormalizeMetric(proto, core.AvgDelay),
+					Config: constellationOverrides(),
+					Run:    run,
+				}
+			})
+		},
+	})
+	Register(Family{
+		Name: "asym-uplink",
+		Doc:  "uplink-constrained constellation: ground passes run an order of magnitude slower than the inter-satellite links, so the rate-asymmetric access windows — not the space segment — bound delivery",
+		Gen: func(p Params) []Scenario {
+			return grid(p, false, func(_, run int, load float64, proto Proto) Scenario {
+				ss := PassesSchedule(p)
+				// The asymmetry: ISLs keep their fast rate, the access
+				// links drop to a trickle (16× slower at zenith), as with
+				// low-power IoT uplinks under a wideband space segment.
+				ss.GroundRateBps = asymUplinkRateBps
+				return Scenario{
+					Family: "asym-uplink", Tag: p.Tag,
+					Schedule: ss,
+					Workload: constellationWorkload(load, p.Ground, p.OrbitPeriod),
+					Protocol: proto, Metric: NormalizeMetric(proto, core.AvgDelay),
+					Config: constellationOverrides(),
+					Run:    run,
+				}
+			})
+		},
+	})
+	Register(Family{
 		Name: "deployment",
 		Doc:  "perturbed DieselNet days standing in for the physical deployment (Table 3, Fig. 3's 'Real' arm)",
 		Gen: func(p Params) []Scenario {
@@ -229,6 +266,33 @@ func ConstellationSchedule(p Params) ScheduleSpec {
 		OrbitPeriod: p.OrbitPeriod, Duration: p.Duration,
 		ISLBytes: 64 << 10, GroundBytes: 128 << 10,
 	}
+}
+
+// asymUplinkRateBps is the asym-uplink family's zenith access-link
+// rate: 16× below groundRateBps, the order-of-magnitude gap between a
+// low-power uplink and the wideband space segment.
+const asymUplinkRateBps = 1 << 10
+
+// Window shaping of the duration-aware constellation families, as
+// fractions of the orbital period: a zenith ground pass stays in view
+// for a tenth of an orbit, an ISL window for a twentieth.
+const (
+	passWindowFrac = 0.1
+	islWindowFrac  = 0.05
+	groundRateBps  = 16 << 10
+	islRateBps     = 8 << 10
+)
+
+// PassesSchedule returns the windowed-contact constellation spec: the
+// point-plan geometry of ConstellationSchedule with elevation-driven
+// pass windows and finite link rates layered on.
+func PassesSchedule(p Params) ScheduleSpec {
+	ss := ConstellationSchedule(p)
+	ss.PassWindow = passWindowFrac * p.OrbitPeriod
+	ss.GroundRateBps = groundRateBps
+	ss.ISLWindow = islWindowFrac * p.OrbitPeriod
+	ss.ISLRateBps = islRateBps
+	return ss
 }
 
 // constellationWorkload offers Poisson traffic among the first

@@ -101,6 +101,15 @@ type ScheduleSpec struct {
 	// the orbital period (0 = a strictly deterministic plan: every seed
 	// builds the byte-identical schedule).
 	ConstelJitter float64
+	// Windowed constellation contacts (all zero keeps point meetings):
+	// PassWindow is the zenith ground-pass duration in seconds and
+	// GroundRateBps its peak link rate — per-pass duration and rate
+	// scale with the pass's deterministic max elevation; ISLWindow and
+	// ISLRateBps shape the inter-satellite windows.
+	PassWindow    float64
+	GroundRateBps float64
+	ISLWindow     float64
+	ISLRateBps    float64
 }
 
 // Build materializes the schedule. DieselNet days are deterministic in
@@ -145,6 +154,8 @@ func (ss ScheduleSpec) build(seed int64) *trace.Schedule {
 			OrbitPeriod:    ss.OrbitPeriod, Duration: ss.Duration,
 			ISLBytes: ss.ISLBytes, GroundBytes: ss.GroundBytes,
 			JitterFrac: ss.ConstelJitter,
+			PassWindow: ss.PassWindow, GroundRateBps: ss.GroundRateBps,
+			ISLWindow: ss.ISLWindow, ISLRateBps: ss.ISLRateBps,
 		}}
 		return m.Schedule(rand.New(rand.NewSource(seed)))
 	default:
@@ -395,6 +406,10 @@ func (s Scenario) baseConfig() routing.Config {
 		cfg.DefaultTransferBytes = s.Schedule.Diesel.MeanTransferBytes
 	case SourceConstellation:
 		cfg.DefaultTransferBytes = float64(s.Schedule.ISLBytes)
+		if s.Schedule.PassWindow > 0 && s.Schedule.ISLWindow > 0 {
+			// Windowed plans size opportunities as rate × window.
+			cfg.DefaultTransferBytes = s.Schedule.ISLRateBps * s.Schedule.ISLWindow
+		}
 	default:
 		cfg.DefaultTransferBytes = float64(s.Schedule.TransferBytes)
 	}

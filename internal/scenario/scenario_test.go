@@ -266,7 +266,11 @@ func TestNewFamiliesRun(t *testing.T) {
 	p.Loads = []float64{10}
 	p.Runs, p.Nodes, p.Duration = 1, 8, 120
 	p.Protocols = []Proto{ProtoRapid}
-	for _, name := range []string{"hetero-buffers", "bursty-onoff", "constellation-ground", "constellation-ring"} {
+	for _, name := range []string{
+		"hetero-buffers", "bursty-onoff",
+		"constellation-ground", "constellation-ring",
+		"constellation-passes", "asym-uplink",
+	} {
 		t.Run(name, func(t *testing.T) {
 			scs, err := Expand(name, p)
 			if err != nil {
@@ -280,6 +284,40 @@ func TestNewFamiliesRun(t *testing.T) {
 				t.Fatal("nothing delivered")
 			}
 		})
+	}
+}
+
+// TestPassesFamilyIsWindowed: the duration-aware families materialize
+// schedules made of windowed contacts, not point meetings, and the
+// asym-uplink variant runs its access links far below its ISLs.
+func TestPassesFamilyIsWindowed(t *testing.T) {
+	p := DefaultParams()
+	p.Loads = []float64{2}
+	p.Runs = 1
+	p.Protocols = []Proto{ProtoRapid}
+	for _, name := range []string{"constellation-passes", "asym-uplink"} {
+		scs, err := Expand(name, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched := scs[0].Materialize().Schedule
+		if len(sched.Contacts) == 0 || len(sched.Meetings) != 0 {
+			t.Fatalf("%s: %d contacts / %d meetings, want all-windowed",
+				name, len(sched.Contacts), len(sched.Meetings))
+		}
+		if err := sched.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, c := range sched.Contacts {
+			if !c.Windowed() {
+				t.Fatalf("%s: point contact %+v in a windowed family", name, c)
+			}
+		}
+	}
+	passes, _ := Expand("constellation-passes", p)
+	asym, _ := Expand("asym-uplink", p)
+	if pr, ar := passes[0].Schedule.GroundRateBps, asym[0].Schedule.GroundRateBps; ar >= pr {
+		t.Errorf("asym-uplink ground rate %v not below passes rate %v", ar, pr)
 	}
 }
 

@@ -15,13 +15,17 @@ import (
 //	# free-form comment
 //	duration <seconds>
 //	meet <nodeA> <nodeB> <time-seconds> <bytes>
+//	contact <nodeA> <nodeB> <start-seconds> <duration-seconds> <rate-Bps> <bytes>
 //
-// The format mirrors the published DieselNet trace releases
+// A contact record is a duration-aware window (bytes carries the
+// point-contact opportunity of the zero-duration degenerate form). The
+// format mirrors the published DieselNet trace releases
 // (traces.cs.umass.edu) closely enough that adapting a real trace is a
-// matter of field reordering.
+// matter of field reordering; readers predating the contact directive
+// skip it as an unknown line.
 
-// Write serializes a schedule. Meetings are written in their current
-// order; call Sort first for canonical output.
+// Write serializes a schedule. Meetings and contacts are written in
+// their current order; call Sort first for canonical output.
 func Write(w io.Writer, s *Schedule) error {
 	bw := bufio.NewWriter(w)
 	if _, err := fmt.Fprintf(bw, "duration %g\n", s.Duration); err != nil {
@@ -29,6 +33,12 @@ func Write(w io.Writer, s *Schedule) error {
 	}
 	for _, m := range s.Meetings {
 		if _, err := fmt.Fprintf(bw, "meet %d %d %g %d\n", m.A, m.B, m.Time, m.Bytes); err != nil {
+			return err
+		}
+	}
+	for _, c := range s.Contacts {
+		if _, err := fmt.Fprintf(bw, "contact %d %d %g %g %g %d\n",
+			c.A, c.B, c.Start, c.Duration, c.RateBps, c.Bytes); err != nil {
 			return err
 		}
 	}
@@ -73,6 +83,23 @@ func Read(r io.Reader) (*Schedule, error) {
 			}
 			s.Meetings = append(s.Meetings, Meeting{
 				A: packet.NodeID(a), B: packet.NodeID(b), Time: t, Bytes: bytes,
+			})
+		case "contact":
+			if len(fields) != 7 {
+				return nil, fmt.Errorf("trace: line %d: contact needs 6 arguments", lineNo)
+			}
+			a, err1 := strconv.Atoi(fields[1])
+			b, err2 := strconv.Atoi(fields[2])
+			start, err3 := strconv.ParseFloat(fields[3], 64)
+			dur, err4 := strconv.ParseFloat(fields[4], 64)
+			rate, err5 := strconv.ParseFloat(fields[5], 64)
+			bytes, err6 := strconv.ParseInt(fields[6], 10, 64)
+			if err1 != nil || err2 != nil || err3 != nil || err4 != nil || err5 != nil || err6 != nil {
+				return nil, fmt.Errorf("trace: line %d: malformed contact record", lineNo)
+			}
+			s.Contacts = append(s.Contacts, Contact{
+				A: packet.NodeID(a), B: packet.NodeID(b),
+				Start: start, Duration: dur, RateBps: rate, Bytes: bytes,
 			})
 		default:
 			// Skip unknown directives for forward compatibility.

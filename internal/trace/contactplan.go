@@ -7,6 +7,12 @@ import (
 	"rapid/internal/packet"
 )
 
+// MinPeriod is the smallest admissible repeat period of a periodic
+// contact. A period in (0, MinPeriod) would expand to billions of
+// occurrences over any realistic horizon — Validate rejects it so a
+// miscomputed period cannot OOM the expansion.
+const MinPeriod = 1e-6
+
 // PeriodicContact is one recurring transfer opportunity of a
 // deterministic contact plan: nodes A and B are in range at
 // Start, Start+Period, Start+2·Period, ... and can exchange Bytes bytes
@@ -15,11 +21,22 @@ import (
 // computable in advance — satellite constellations with known orbits,
 // scheduled data mules — as opposed to the statistical meeting processes
 // of the mobility models.
+//
+// A contact with Window > 0 is duration-aware: each occurrence is a
+// pass window of Window seconds at RateBps (capacity Window·RateBps)
+// rather than a point meeting of Bytes. Window == 0 keeps the legacy
+// point form.
 type PeriodicContact struct {
 	A, B   packet.NodeID
 	Start  float64
 	Period float64
 	Bytes  int64
+	// Window is each occurrence's temporal extent in seconds
+	// (0 = point contact).
+	Window float64
+	// RateBps is the link rate across each window; required positive
+	// when Window > 0, ignored otherwise.
+	RateBps float64
 }
 
 // ContactPlan is a deterministic, periodic contact schedule over a
@@ -32,10 +49,19 @@ type ContactPlan struct {
 	Duration float64
 }
 
-// Add appends one periodic contact to the plan.
+// Add appends one periodic point contact to the plan.
 func (cp *ContactPlan) Add(a, b packet.NodeID, start, period float64, bytes int64) {
 	cp.Contacts = append(cp.Contacts, PeriodicContact{
 		A: a, B: b, Start: start, Period: period, Bytes: bytes,
+	})
+}
+
+// AddWindow appends one periodic windowed contact: each occurrence
+// lasts `window` seconds at rateBps.
+func (cp *ContactPlan) AddWindow(a, b packet.NodeID, start, period, window, rateBps float64) {
+	cp.Contacts = append(cp.Contacts, PeriodicContact{
+		A: a, B: b, Start: start, Period: period,
+		Window: window, RateBps: rateBps,
 	})
 }
 
@@ -49,8 +75,24 @@ func (cp *ContactPlan) Validate() error {
 		if c.Start < 0 || math.IsNaN(c.Start) {
 			return fmt.Errorf("trace: plan contact %d starts at %v", i, c.Start)
 		}
+		if math.IsNaN(c.Period) || (c.Period > 0 && c.Period < MinPeriod) {
+			return fmt.Errorf("trace: plan contact %d has period %v below the %g floor",
+				i, c.Period, MinPeriod)
+		}
 		if c.Bytes < 0 {
 			return fmt.Errorf("trace: plan contact %d has negative size", i)
+		}
+		if c.Window < 0 || math.IsNaN(c.Window) {
+			return fmt.Errorf("trace: plan contact %d has window %v", i, c.Window)
+		}
+		if c.Window > 0 {
+			if c.RateBps <= 0 || math.IsInf(c.RateBps, 0) || math.IsNaN(c.RateBps) {
+				return fmt.Errorf("trace: plan contact %d has rate %v", i, c.RateBps)
+			}
+			if c.Period > 0 && c.Window > c.Period {
+				return fmt.Errorf("trace: plan contact %d window %v exceeds its period %v (self-overlap)",
+					i, c.Window, c.Period)
+			}
 		}
 	}
 	return nil
@@ -58,12 +100,36 @@ func (cp *ContactPlan) Validate() error {
 
 // Expand flattens the plan into a time-sorted meeting schedule over
 // [0, Duration). Occurrences landing exactly on the horizon are
-// excluded, matching Schedule.Validate's half-open interval.
+// excluded, matching Schedule.Validate's half-open interval; windowed
+// occurrences are clipped to the horizon (a pass cut off by the end of
+// the experiment transfers only its in-horizon share).
+//
+// Occurrence times are computed as Start + i·Period from an integer
+// counter, never by repeated accumulation: t += Period drifts by an ULP
+// every step and, over the 10⁴–10⁵ occurrences of a constellation-scale
+// plan, breaks the documented property that the same plan always
+// flattens to the byte-identical schedule.
 func (cp *ContactPlan) Expand() *Schedule {
 	s := &Schedule{Duration: cp.Duration}
 	for _, c := range cp.Contacts {
-		for t := c.Start; t < cp.Duration; t += c.Period {
-			s.Meetings = append(s.Meetings, Meeting{A: c.A, B: c.B, Time: t, Bytes: c.Bytes})
+		for i := 0; ; i++ {
+			t := c.Start + float64(i)*c.Period
+			if t >= cp.Duration {
+				break
+			}
+			if c.Window > 0 {
+				w := c.Window
+				if t+w > cp.Duration {
+					w = cp.Duration - t
+				}
+				if w > 0 {
+					s.Contacts = append(s.Contacts, Contact{
+						A: c.A, B: c.B, Start: t, Duration: w, RateBps: c.RateBps,
+					})
+				}
+			} else {
+				s.Meetings = append(s.Meetings, Meeting{A: c.A, B: c.B, Time: t, Bytes: c.Bytes})
+			}
 			if c.Period <= 0 {
 				break // one-shot contact
 			}

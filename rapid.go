@@ -53,9 +53,18 @@ type (
 	Packet = packet.Packet
 	// Workload is a time-sorted packet set.
 	Workload = packet.Workload
-	// Meeting is one transfer opportunity between two nodes.
+	// Meeting is one instantaneous transfer opportunity between two
+	// nodes.
 	Meeting = trace.Meeting
-	// Schedule is a node-meeting schedule (§3.1's multigraph).
+	// Contact is a duration-aware transfer opportunity: a window of
+	// Duration seconds at RateBps. Zero-duration contacts degrade to
+	// point meetings.
+	Contact = trace.Contact
+	// ContactPlan is a deterministic periodic contact schedule (the
+	// contact-graph abstraction for computable connectivity).
+	ContactPlan = trace.ContactPlan
+	// Schedule is a node-meeting schedule (§3.1's multigraph), holding
+	// point meetings, windowed contacts, or both.
 	Schedule = trace.Schedule
 	// Summary is the reduced metrics of one run.
 	Summary = metrics.Summary
