@@ -159,7 +159,7 @@ func runFamily(name string, sc exp.Scale) {
 	switch {
 	case strings.HasPrefix(name, "trace"), name == "deployment":
 		params.Loads = sc.TraceLoads
-	case strings.HasPrefix(name, "constellation"), name == "asym-uplink":
+	case strings.HasPrefix(name, "constellation"), strings.HasPrefix(name, "cgr"), name == "asym-uplink":
 		params.Loads = sc.ConstelLoads
 		if params.OrbitPeriod > duration {
 			// A horizon shorter than one orbit would leave most of the

@@ -10,8 +10,9 @@ import (
 // figures and benchmarks speak in these names.
 type Proto = scenario.Proto
 
-// The protocol arms of §6.1's comparison set (see internal/scenario).
-const (
+// The protocol arms of §6.1's comparison set (see internal/scenario,
+// where arms self-register into scenario.AllProtos).
+var (
 	ProtoRapid       = scenario.ProtoRapid
 	ProtoRapidLocal  = scenario.ProtoRapidLocal
 	ProtoRapidGlobal = scenario.ProtoRapidGlobal
@@ -21,6 +22,7 @@ const (
 	ProtoRandom      = scenario.ProtoRandom
 	ProtoRandomAcks  = scenario.ProtoRandomAcks
 	ProtoEpidemic    = scenario.ProtoEpidemic
+	ProtoCGR         = scenario.ProtoCGR
 )
 
 // ComparisonSet is the four-protocol lineup of the headline figures.

@@ -1,0 +1,151 @@
+// Package cgr implements Contact Graph Routing over deterministic
+// contact plans: the scheduled-connectivity counterpart of the paper's
+// statistical DTN setting (Alhajj & Corlay, arXiv:2410.15546; Shi et
+// al., arXiv:2211.06598). Where RAPID and the reactive baselines decide
+// contact-by-contact, CGR knows the full expanded schedule up front —
+// satellite constellations and data-mule routes make every future
+// window computable — and routes each packet along its earliest-arrival
+// time-respecting path, reserving per-window capacity and relay buffer
+// headroom as it plans.
+//
+// Forwarding is single-copy with custody transfer: once the planned
+// next hop accepts the packet, the sender drops its copy. When reality
+// diverges from the plan — a window closes before the transfer
+// completes, radio sharing cuts the effective rate, a relay refuses the
+// copy — custody stays put, the stale route is released (refunding its
+// unused capacity and buffer reservations), and the packet is re-planned
+// from its current custodian at the next opportunity. DESIGN.md §9
+// documents the graph construction and re-planning rules.
+package cgr
+
+import (
+	"sort"
+
+	"rapid/internal/buffer"
+	"rapid/internal/control"
+	"rapid/internal/packet"
+	"rapid/internal/routing"
+	"rapid/internal/trace"
+)
+
+// Router is one node's view of the shared contact-graph planner.
+type Router struct {
+	node *routing.Node
+	pl   *Planner
+
+	// planScratch and dqScratch are the reused per-contact slices.
+	planScratch []*buffer.Entry
+	dqScratch   []*buffer.Entry
+	arriveByID  map[packet.ID]float64
+}
+
+// New returns a CGR router factory. All routers built by one factory
+// share one planner — a factory must not be reused across runs.
+func New() routing.RouterFactory {
+	pl := newPlanner()
+	return func(packet.NodeID) routing.Router {
+		return &Router{pl: pl, arriveByID: make(map[packet.ID]float64)}
+	}
+}
+
+// Name implements routing.Router.
+func (r *Router) Name() string { return "cgr" }
+
+// Attach implements routing.Router.
+func (r *Router) Attach(n *routing.Node) {
+	r.node = n
+	r.pl.register(n)
+}
+
+// PrimeSchedule implements routing.SchedulePrimer: the planner ingests
+// the expanded schedule before the first event (idempotent — one node
+// wins, the rest no-op).
+func (r *Router) PrimeSchedule(s *trace.Schedule, net *routing.Network) {
+	r.pl.prime(s, net)
+}
+
+// Generate implements routing.Router: store the packet (the source is
+// its first custodian) and plan its route immediately.
+func (r *Router) Generate(p *packet.Packet, now float64) {
+	if !r.node.Store.Insert(&buffer.Entry{P: p, ReceivedAt: now, Own: true}, nil) {
+		return
+	}
+	r.pl.routeFor(p, r.node.ID, now, rankGenerated)
+}
+
+// Inventory implements routing.Router. CGR runs no metadata channel:
+// the contact plan is shared a priori, and single-copy custody makes
+// replica inventories moot.
+func (r *Router) Inventory(now float64) []control.InventoryItem { return nil }
+
+// DirectQueue implements routing.Router: everything destined to the
+// peer, oldest first. Meeting the destination is always at least as
+// good as any planned route, so direct delivery is unconditional.
+func (r *Router) DirectQueue(peer packet.NodeID, now float64) []*buffer.Entry {
+	q := r.node.Store.Queue(peer)
+	if len(q) == 0 {
+		return nil
+	}
+	r.dqScratch = append(r.dqScratch[:0], q...)
+	return r.dqScratch
+}
+
+// PlanReplication implements routing.Router: the buffered packets whose
+// planned next hop traverses the live contact to this peer, earliest
+// planned delivery first. Packets with stale routes (missed or cut-off
+// windows) are re-planned here; packets routed through other contacts
+// are withheld — single-copy forwarding never hedges.
+func (r *Router) PlanReplication(peer *routing.Node, now float64) []*buffer.Entry {
+	out := r.planScratch[:0]
+	clear(r.arriveByID)
+	// The custody rank of this event: the live window itself, so a
+	// re-plan may depart through the very contact being executed or any
+	// same-instant window still pending.
+	r0 := rankStreamed
+	if cur := r.pl.liveWindow(r.node.ID, peer.ID, now); cur >= 0 {
+		r0 = cur - 1
+	}
+	for _, e := range r.node.Store.Entries() {
+		if e.P.Dst == peer.ID {
+			continue // Step 2's direct queue owns these
+		}
+		rt := r.pl.routeFor(e.P, r.node.ID, now, r0)
+		if rt == nil {
+			continue
+		}
+		h := rt.hops[rt.next]
+		w := &r.pl.windows[h.win]
+		if h.to != peer.ID || now < w.start-timeEps || now > w.end+timeEps {
+			continue // planned through a different contact
+		}
+		out = append(out, e)
+		r.arriveByID[e.P.ID] = rt.arriveAt()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ai, aj := r.arriveByID[out[i].P.ID], r.arriveByID[out[j].P.ID]
+		if ai != aj {
+			return ai < aj
+		}
+		return out[i].P.ID < out[j].P.ID
+	})
+	r.planScratch = out
+	return out
+}
+
+// Accept implements routing.Router: take custody. The insert is
+// headroom-checked by the store; on success the planner advances the
+// route and drops the sender's copy. On refusal custody stays with the
+// sender, whose now-stale route re-plans at its next contact.
+func (r *Router) Accept(e *buffer.Entry, from packet.NodeID, now float64) bool {
+	if !r.node.Store.Insert(e, nil) {
+		return false
+	}
+	r.pl.transferred(e.P.ID, from, r.node.ID)
+	return true
+}
+
+// OnDelivered implements routing.DeliveryObserver: release the
+// delivered packet's remaining capacity and buffer reservations.
+func (r *Router) OnDelivered(id packet.ID, now float64) {
+	r.pl.delivered(id)
+}

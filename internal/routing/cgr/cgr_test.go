@@ -1,0 +1,215 @@
+package cgr_test
+
+import (
+	"testing"
+
+	"rapid/internal/packet"
+	"rapid/internal/routing"
+	"rapid/internal/routing/cgr"
+	"rapid/internal/trace"
+)
+
+func run(t *testing.T, sched *trace.Schedule, w packet.Workload, cfg routing.Config) *routing.Scenario {
+	t.Helper()
+	if err := sched.Validate(); err != nil {
+		t.Fatalf("schedule invalid: %v", err)
+	}
+	return &routing.Scenario{
+		Schedule: sched, Workload: w, Factory: cgr.New(), Cfg: cfg, Seed: 1,
+	}
+}
+
+func pkt(id int64, src, dst packet.NodeID, size int64, created float64) *packet.Packet {
+	return &packet.Packet{ID: packet.ID(id), Src: src, Dst: dst, Size: size, Created: created}
+}
+
+// TestRelayChain: A meets B at t=10, B meets C at t=20. CGR must plan
+// A→B→C and deliver at 20 with exactly one replication (single copy).
+func TestRelayChain(t *testing.T) {
+	sched := &trace.Schedule{Duration: 100}
+	sched.Meetings = []trace.Meeting{
+		{A: 0, B: 1, Time: 10, Bytes: 10 << 10},
+		{A: 1, B: 2, Time: 20, Bytes: 10 << 10},
+	}
+	w := packet.Workload{pkt(1, 0, 2, 1024, 0)}
+	col := routing.Run(*run(t, sched, w, routing.Config{}))
+	s := col.Summarize(100)
+	if s.Delivered != 1 {
+		t.Fatalf("delivered %d, want 1", s.Delivered)
+	}
+	if got := col.Records()[0].DeliveredAt; got != 20 {
+		t.Fatalf("delivered at %v, want 20", got)
+	}
+	if col.Replications != 1 {
+		t.Fatalf("replications %d, want 1 (single-copy relay)", col.Replications)
+	}
+}
+
+// TestWithholdsOffPlanPackets: the planned route goes via relay 1; a
+// meeting with relay 3 (a dead end) must not receive a copy.
+func TestWithholdsOffPlanPackets(t *testing.T) {
+	sched := &trace.Schedule{Duration: 100}
+	sched.Meetings = []trace.Meeting{
+		{A: 0, B: 3, Time: 5, Bytes: 10 << 10}, // dead-end relay: 3 never meets 2
+		{A: 0, B: 1, Time: 10, Bytes: 10 << 10},
+		{A: 1, B: 2, Time: 20, Bytes: 10 << 10},
+	}
+	w := packet.Workload{pkt(1, 0, 2, 1024, 0)}
+	col := routing.Run(*run(t, sched, w, routing.Config{}))
+	if col.Replications != 1 {
+		t.Fatalf("replications %d, want 1 (no copy to the dead-end relay)", col.Replications)
+	}
+	if !col.IsDelivered(1) {
+		t.Fatal("packet not delivered")
+	}
+}
+
+// TestCapacityReservation: the early relay meeting fits one packet;
+// the second packet must route over the later, slower relay chain
+// instead of overbooking.
+func TestCapacityReservation(t *testing.T) {
+	sched := &trace.Schedule{Duration: 100}
+	sched.Meetings = []trace.Meeting{
+		{A: 0, B: 1, Time: 10, Bytes: 1024}, // room for exactly one packet
+		{A: 1, B: 2, Time: 20, Bytes: 1024},
+		{A: 0, B: 3, Time: 30, Bytes: 10 << 10}, // fallback chain
+		{A: 3, B: 2, Time: 40, Bytes: 10 << 10},
+	}
+	w := packet.Workload{
+		pkt(1, 0, 2, 1024, 0),
+		pkt(2, 0, 2, 1024, 0),
+	}
+	col := routing.Run(*run(t, sched, w, routing.Config{}))
+	s := col.Summarize(100)
+	if s.Delivered != 2 {
+		t.Fatalf("delivered %d, want 2", s.Delivered)
+	}
+	var at1, at2 float64
+	for _, r := range col.Records() {
+		switch r.P.ID {
+		case 1:
+			at1 = r.DeliveredAt
+		case 2:
+			at2 = r.DeliveredAt
+		}
+	}
+	if at1 != 20 || at2 != 40 {
+		t.Fatalf("deliveries at (%v, %v), want (20, 40): capacity reservation must push the second packet to the fallback chain", at1, at2)
+	}
+}
+
+// TestBufferHeadroom: the fast relay's buffer cannot hold the packet,
+// so the plan must route over the roomier, slower relay.
+func TestBufferHeadroom(t *testing.T) {
+	sched := &trace.Schedule{Duration: 100}
+	sched.Meetings = []trace.Meeting{
+		{A: 0, B: 1, Time: 10, Bytes: 10 << 10}, // relay 1: tiny buffer
+		{A: 1, B: 2, Time: 20, Bytes: 10 << 10},
+		{A: 0, B: 3, Time: 30, Bytes: 10 << 10}, // relay 3: room
+		{A: 3, B: 2, Time: 40, Bytes: 10 << 10},
+	}
+	w := packet.Workload{pkt(1, 0, 2, 1024, 0)}
+	cfg := routing.Config{
+		BufferBytesFor: func(id packet.NodeID) int64 {
+			if id == 1 {
+				return 512 // too small for the 1 KB packet
+			}
+			return 100 << 10
+		},
+	}
+	col := routing.Run(*run(t, sched, w, cfg))
+	if !col.IsDelivered(1) {
+		t.Fatal("packet not delivered")
+	}
+	if got := col.Records()[0].DeliveredAt; got != 40 {
+		t.Fatalf("delivered at %v, want 40 via the roomy relay", got)
+	}
+}
+
+// TestWindowedCutoffReplans: two overlapping windows at the source
+// halve the radio rate, so the planned transfer through the first
+// window is cut off at close; CGR must re-plan onto the later window
+// and still deliver.
+func TestWindowedCutoffReplans(t *testing.T) {
+	sched := &trace.Schedule{Duration: 200}
+	// Window 0↔2 [10,20) at 200 B/s: 2000 B capacity, and a 1500 B
+	// packet needs 7.5 s at full rate. The overlapping 0↔3 window forces
+	// rate sharing (100 B/s → 15 s needed, 10 available) — cut off.
+	sched.Contacts = []trace.Contact{
+		{A: 0, B: 2, Start: 10, Duration: 10, RateBps: 200},
+		{A: 0, B: 3, Start: 10, Duration: 10, RateBps: 200},
+		// Recovery window, ample time.
+		{A: 0, B: 2, Start: 50, Duration: 30, RateBps: 200},
+	}
+	w := packet.Workload{pkt(1, 0, 2, 1500, 0)}
+	col := routing.Run(*run(t, sched, w, routing.Config{}))
+	if !col.IsDelivered(1) {
+		t.Fatal("packet not delivered after cut-off")
+	}
+	at := col.Records()[0].DeliveredAt
+	if at <= 50 || at >= 80 {
+		t.Fatalf("delivered at %v, want inside the recovery window (50,80)", at)
+	}
+}
+
+// TestDirectDeliveryOpportunism: meeting the destination outside the
+// planned route still delivers immediately.
+func TestDirectDeliveryOpportunism(t *testing.T) {
+	sched := &trace.Schedule{Duration: 100}
+	sched.Meetings = []trace.Meeting{
+		{A: 0, B: 1, Time: 10, Bytes: 10 << 10},
+		{A: 0, B: 2, Time: 30, Bytes: 10 << 10}, // direct meeting beats the relay plan
+		{A: 1, B: 2, Time: 50, Bytes: 10 << 10}, // planned path would arrive at 50
+	}
+	w := packet.Workload{pkt(1, 0, 2, 1024, 0)}
+	col := routing.Run(*run(t, sched, w, routing.Config{}))
+	if !col.IsDelivered(1) {
+		t.Fatal("packet not delivered")
+	}
+	at := col.Records()[0].DeliveredAt
+	if at > 30 {
+		t.Fatalf("delivered at %v, want <= 30 (opportunistic direct delivery)", at)
+	}
+}
+
+// TestWaitsForPlannedWindow: the first meeting with the planned relay
+// is too small for the packet; the plan must target the later, larger
+// occurrence and the packet must be withheld until it opens.
+func TestWaitsForPlannedWindow(t *testing.T) {
+	sched := &trace.Schedule{Duration: 100}
+	sched.Meetings = []trace.Meeting{
+		{A: 0, B: 1, Time: 10, Bytes: 512}, // too small for the packet
+		{A: 0, B: 1, Time: 40, Bytes: 4096},
+		{A: 1, B: 2, Time: 60, Bytes: 4096},
+	}
+	w := packet.Workload{pkt(1, 0, 2, 1024, 0)}
+	col := routing.Run(*run(t, sched, w, routing.Config{}))
+	if !col.IsDelivered(1) {
+		t.Fatal("packet not delivered")
+	}
+	if got := col.Records()[0].DeliveredAt; got != 60 {
+		t.Fatalf("delivered at %v, want 60", got)
+	}
+}
+
+// TestDeterminism: two identical runs produce identical outcomes.
+func TestDeterminism(t *testing.T) {
+	sched := &trace.Schedule{Duration: 300}
+	for i := 0; i < 40; i++ {
+		a := packet.NodeID(i % 5)
+		b := packet.NodeID((i + 1) % 5)
+		sched.Meetings = append(sched.Meetings, trace.Meeting{
+			A: a, B: b, Time: float64(i*7 + 3), Bytes: 2048,
+		})
+	}
+	sched.Sort()
+	var w packet.Workload
+	for i := int64(1); i <= 10; i++ {
+		w = append(w, pkt(i, packet.NodeID(i%5), packet.NodeID((i+2)%5), 1024, float64(i)))
+	}
+	s1 := routing.Run(*run(t, sched, w, routing.Config{BufferBytes: 8 << 10})).Summarize(300)
+	s2 := routing.Run(*run(t, sched, w, routing.Config{BufferBytes: 8 << 10})).Summarize(300)
+	if s1 != s2 {
+		t.Fatalf("non-deterministic: %+v vs %+v", s1, s2)
+	}
+}

@@ -1,0 +1,455 @@
+package cgr
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"rapid/internal/packet"
+	"rapid/internal/routing"
+	"rapid/internal/trace"
+)
+
+// timeEps absorbs float noise when matching a planned hop against the
+// live clock: schedule times flow unmodified from the expanded plan
+// into both the planner and the event queue, so equality normally holds
+// exactly, but an epsilon keeps a representational wobble from silently
+// desynchronizing the plan.
+const timeEps = 1e-9
+
+// window is one concrete transfer opportunity of the contact graph —
+// an expanded occurrence, not a periodic rule. Point meetings carry
+// rate == 0 and end == start.
+//
+// A window's index in Planner.windows doubles as its execution rank:
+// the runtime schedules the workload first, then every meeting in
+// schedule order, then every contact span — so among same-instant
+// events, a lower index runs first. The planner exploits this to chain
+// same-instant hops exactly when the event order realizes them, instead
+// of guessing.
+type window struct {
+	a, b       packet.NodeID
+	start, end float64
+	rate       float64 // bytes/s; 0 for a point meeting
+	cap0       int64   // nominal capacity (serialization baseline)
+	residual   int64   // capacity not yet reserved by planned routes
+}
+
+// Custody ranks bracketing the window indices: rankGenerated orders
+// packet-creation events before every same-instant window (the runtime
+// schedules the workload first); rankStreamed orders a windowed
+// transfer's completion after every same-instant pre-scheduled event
+// (completions are booked during the run, so their sequence numbers are
+// higher than the whole initial batch).
+const (
+	rankGenerated = -1
+	rankStreamed  = math.MaxInt32
+)
+
+// hop is one planned traversal of a window.
+type hop struct {
+	win      int
+	from, to packet.NodeID
+	// depart is when transmission begins, arrive when the last byte
+	// lands (equal for point meetings).
+	depart, arrive float64
+}
+
+// route is one packet's planned path. next indexes the first
+// untraversed hop; hops before it have already moved custody. size is
+// the packet size the route's reservations were taken at.
+type route struct {
+	hops []hop
+	next int
+	size int64
+}
+
+// arriveAt returns the planned delivery instant.
+func (r *route) arriveAt() float64 { return r.hops[len(r.hops)-1].arrive }
+
+// reservation records planned buffer occupancy of one packet at one
+// node over its custody interval.
+type reservation struct {
+	id       packet.ID
+	from, to float64
+	bytes    int64
+}
+
+// Planner is the shared contact-graph state of one run: the expanded
+// windows, per-window residual capacity, per-node planned buffer
+// reservations, and every packet's current route and custodian. All of
+// a run's CGR routers share one Planner; the simulator is
+// single-threaded, so no locking.
+type Planner struct {
+	windows []window
+	byNode  map[packet.NodeID][]int // window indices touching the node, start-sorted
+	nodes   map[packet.NodeID]*routing.Node
+	capFor  func(packet.NodeID) int64 // <= 0: unlimited
+	routes  map[packet.ID]*route
+	resv    map[packet.NodeID][]reservation
+	// lastTry throttles re-planning of currently unroutable packets to
+	// once per simulation instant.
+	lastTry map[packet.ID]float64
+	primed  bool
+
+	// Dijkstra scratch, reused across plans.
+	dist map[packet.NodeID]float64
+	rank map[packet.NodeID]int
+	prev map[packet.NodeID]hop
+	done map[packet.NodeID]bool
+}
+
+func newPlanner() *Planner {
+	return &Planner{
+		byNode:  make(map[packet.NodeID][]int),
+		nodes:   make(map[packet.NodeID]*routing.Node),
+		routes:  make(map[packet.ID]*route),
+		resv:    make(map[packet.NodeID][]reservation),
+		lastTry: make(map[packet.ID]float64),
+		dist:    make(map[packet.NodeID]float64),
+		rank:    make(map[packet.NodeID]int),
+		prev:    make(map[packet.NodeID]hop),
+		done:    make(map[packet.NodeID]bool),
+	}
+}
+
+// prime builds the contact graph from the expanded schedule: one window
+// per meeting occurrence and per duration-aware contact. Idempotent —
+// every router of the run delegates here, the first call wins.
+func (pl *Planner) prime(s *trace.Schedule, net *routing.Network) {
+	if pl.primed {
+		return
+	}
+	pl.primed = true
+	pl.capFor = net.Cfg.CapacityFor
+	for _, m := range s.Meetings {
+		pl.windows = append(pl.windows, window{
+			a: m.A, b: m.B, start: m.Time, end: m.Time,
+			cap0: m.Bytes, residual: m.Bytes,
+		})
+	}
+	for _, c := range s.Contacts {
+		w := window{a: c.A, b: c.B, start: c.Start, end: c.Start, cap0: c.Bytes, residual: c.Bytes}
+		if c.Windowed() {
+			// Capacity must be the runtime's own budget figure
+			// (Contact.Capacity — recomputing RateBps·(end−start) can
+			// round one byte above it and plan a transfer the session
+			// budget then refuses forever), shrunk when the horizon
+			// clips the window (Contact.EndWithin, the same rule the
+			// runtime closes by): only the in-horizon share can move.
+			end := c.EndWithin(s.Duration)
+			w.cap0 = c.Capacity()
+			if end < c.End() {
+				if clipped := int64(c.RateBps * (end - c.Start)); clipped < w.cap0 {
+					w.cap0 = clipped
+				}
+			}
+			w.end = end
+			w.rate = c.RateBps
+			w.residual = w.cap0
+		}
+		pl.windows = append(pl.windows, w)
+	}
+	for i, w := range pl.windows {
+		pl.byNode[w.a] = append(pl.byNode[w.a], i)
+		pl.byNode[w.b] = append(pl.byNode[w.b], i)
+	}
+	// Start-sorted per-node lists let the live-contact lookup binary
+	// search; ties keep execution-rank order.
+	for _, list := range pl.byNode {
+		sort.Slice(list, func(i, j int) bool {
+			wi, wj := &pl.windows[list[i]], &pl.windows[list[j]]
+			if wi.start != wj.start {
+				return wi.start < wj.start
+			}
+			return list[i] < list[j]
+		})
+	}
+}
+
+// liveWindow locates the window being executed between two nodes at the
+// current instant — the session or window-open event calling into the
+// router — by binary search over the node's start-sorted windows.
+// Returns -1 when none matches (the contact came from outside the
+// primed schedule).
+func (pl *Planner) liveWindow(a, b packet.NodeID, now float64) int {
+	list := pl.byNode[a]
+	// Windowed contacts consult routers only at open, so start == now
+	// for every live window; search the equal-start run.
+	lo := sort.Search(len(list), func(i int) bool {
+		return pl.windows[list[i]].start >= now-timeEps
+	})
+	for i := lo; i < len(list); i++ {
+		w := &pl.windows[list[i]]
+		if w.start > now+timeEps {
+			break
+		}
+		if (w.a == a && w.b == b) || (w.a == b && w.b == a) {
+			return list[i]
+		}
+	}
+	return -1
+}
+
+// register records a node at attach time so custody transfers can drop
+// the sender's copy.
+func (pl *Planner) register(n *routing.Node) { pl.nodes[n.ID] = n }
+
+// occupied sums planned buffer reservations at node covering instant t,
+// excluding packet id's own reservations.
+func (pl *Planner) occupied(node packet.NodeID, t float64, id packet.ID) int64 {
+	var sum int64
+	for _, r := range pl.resv[node] {
+		if r.id != id && r.from <= t && t < r.to {
+			sum += r.bytes
+		}
+	}
+	return sum
+}
+
+// fitsBuffer checks next-hop buffer headroom per the run's
+// BufferBytesFor assignment: the node must have room for the packet on
+// top of the custody already planned to overlap its arrival. The check
+// is an instant sample at the arrival time — an approximation (planned
+// occupancy can peak between samples), backstopped at runtime by the
+// store's hard capacity check and the resulting re-plan.
+func (pl *Planner) fitsBuffer(node packet.NodeID, t float64, p *packet.Packet) bool {
+	if node == p.Dst {
+		return true // delivered on arrival, never buffered
+	}
+	capacity := pl.capFor(node)
+	if capacity <= 0 {
+		return true
+	}
+	return pl.occupied(node, t, p.ID)+p.Size <= capacity
+}
+
+// pqItem / pq implement the Dijkstra frontier ordered by
+// (arrival, rank, node) — rank breaks time ties because a lower-rank
+// label can use strictly more same-instant windows; the node tiebreak
+// keeps settling deterministic.
+type pqItem struct {
+	node packet.NodeID
+	at   float64
+	rank int
+}
+
+type pq []pqItem
+
+func (q pq) Len() int { return len(q) }
+func (q pq) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	if q[i].rank != q[j].rank {
+		return q[i].rank < q[j].rank
+	}
+	return q[i].node < q[j].node
+}
+func (q pq) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x any)   { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() any     { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+
+// sameInstant compares schedule times for equality within float noise.
+func sameInstant(a, b float64) bool { return math.Abs(a-b) <= timeEps }
+
+// plan runs earliest-arrival Dijkstra over the time-expanded contact
+// graph for packet p held at `from` since `now`, with custody rank r0
+// ordering the origin against same-instant events. Edge feasibility:
+//
+//   - residual Rate×Duration capacity ≥ the packet size;
+//   - a point meeting must not have executed yet: strictly later than
+//     the custody instant, or same-instant with a higher execution
+//     rank (the runtime's event order is deterministic, so this is
+//     exact, not heuristic);
+//   - a windowed contact snapshots its queues at open, so custody must
+//     exist before the open event; arrival serializes behind the bytes
+//     already planned onto the window and must land before close;
+//   - the receiving node must have buffer headroom at the arrival
+//     instant (per the run's BufferBytesFor assignment).
+//
+// Labels are (arrival, rank) lexicographic — for equal arrivals a
+// lower rank dominates. Returns nil when the destination is
+// unreachable under those constraints.
+func (pl *Planner) plan(p *packet.Packet, from packet.NodeID, now float64, r0 int) *route {
+	dist, rank, prev, done := pl.dist, pl.rank, pl.prev, pl.done
+	clear(dist)
+	clear(rank)
+	clear(prev)
+	clear(done)
+	dist[from] = now
+	rank[from] = r0
+	frontier := pq{{node: from, at: now, rank: r0}}
+	for len(frontier) > 0 {
+		it := heap.Pop(&frontier).(pqItem)
+		u := it.node
+		if done[u] || it.at > dist[u] || (it.at == dist[u] && it.rank > rank[u]) {
+			continue
+		}
+		done[u] = true
+		if u == p.Dst {
+			break
+		}
+		t, tr := dist[u], rank[u]
+		for _, wi := range pl.byNode[u] {
+			w := &pl.windows[wi]
+			v := w.b
+			if v == u {
+				v = w.a
+			}
+			if done[v] || w.residual < p.Size {
+				continue
+			}
+			var at float64
+			var ar int
+			if w.rate == 0 {
+				if w.start < t-timeEps || (sameInstant(w.start, t) && wi <= tr) {
+					continue // meeting already executed
+				}
+				at, ar = w.start, wi
+			} else {
+				if w.start < t-timeEps || (sameInstant(w.start, t) && wi <= tr) {
+					continue // open snapshot misses the packet
+				}
+				at = w.start + float64(w.cap0-w.residual+p.Size)/w.rate
+				if at >= w.end-timeEps {
+					// Strictly before close: the close event is
+					// pre-scheduled (lower sequence), so a completion
+					// landing exactly at the close instant is cut off.
+					continue
+				}
+				ar = rankStreamed
+			}
+			if !pl.fitsBuffer(v, at, p) {
+				continue
+			}
+			if cur, seen := dist[v]; !seen || at < cur || (at == cur && ar < rank[v]) {
+				dist[v] = at
+				rank[v] = ar
+				prev[v] = hop{win: wi, from: u, to: v, depart: w.start, arrive: at}
+				heap.Push(&frontier, pqItem{node: v, at: at, rank: ar})
+			}
+		}
+	}
+	if !done[p.Dst] {
+		return nil
+	}
+	var hops []hop
+	for node := p.Dst; node != from; {
+		h := prev[node]
+		hops = append(hops, h)
+		node = h.from
+	}
+	for l, r := 0, len(hops)-1; l < r; l, r = l+1, r-1 {
+		hops[l], hops[r] = hops[r], hops[l]
+	}
+	return &route{hops: hops}
+}
+
+// commit reserves the route's resources: residual capacity on every
+// window it traverses, and buffer headroom at every intermediate node
+// over its planned custody interval.
+func (pl *Planner) commit(p *packet.Packet, r *route) {
+	r.size = p.Size
+	for i, h := range r.hops {
+		pl.windows[h.win].residual -= p.Size
+		if i+1 < len(r.hops) {
+			pl.resv[h.to] = append(pl.resv[h.to], reservation{
+				id: p.ID, from: h.arrive, to: r.hops[i+1].arrive, bytes: p.Size,
+			})
+		}
+	}
+	pl.routes[p.ID] = r
+}
+
+// release refunds the untraversed remainder of a packet's route —
+// residual capacity of hops not yet executed and every buffer
+// reservation — and forgets the route. Safe to call with no route.
+func (pl *Planner) release(id packet.ID) {
+	r := pl.routes[id]
+	if r == nil {
+		return
+	}
+	for i := r.next; i < len(r.hops); i++ {
+		pl.windows[r.hops[i].win].residual += r.size
+	}
+	// Reservations live only at the route's own hop receivers — scan
+	// those nodes, not the whole network (release runs on every
+	// re-plan and delivery).
+	for _, h := range r.hops {
+		list, ok := pl.resv[h.to]
+		if !ok {
+			continue
+		}
+		out := list[:0]
+		for _, rv := range list {
+			if rv.id != id {
+				out = append(out, rv)
+			}
+		}
+		if len(out) == 0 {
+			delete(pl.resv, h.to)
+		} else {
+			pl.resv[h.to] = out
+		}
+	}
+	delete(pl.routes, id)
+}
+
+// fresh reports whether the packet's planned next hop is still
+// executable from node at the current clock: the packet is where the
+// plan says it is and the hop's window has not closed. A window cut
+// short by radio sharing or closed before the transfer completed shows
+// up here as a stale route.
+func (pl *Planner) fresh(r *route, node packet.NodeID, now float64) bool {
+	if r == nil || r.next >= len(r.hops) {
+		return false
+	}
+	h := r.hops[r.next]
+	return h.from == node && pl.windows[h.win].end >= now-timeEps
+}
+
+// routeFor returns a currently-executable route for the packet held at
+// node, re-planning (and re-reserving) when the existing one is stale
+// or missing. r0 is the custody rank of the calling event
+// (rankGenerated at creation; liveWindow-1 during a contact). Returns
+// nil when no feasible route exists at this instant; retries are
+// throttled to once per simulation time.
+func (pl *Planner) routeFor(p *packet.Packet, node packet.NodeID, now float64, r0 int) *route {
+	if r := pl.routes[p.ID]; pl.fresh(r, node, now) {
+		return r
+	}
+	if last, tried := pl.lastTry[p.ID]; tried && last == now && pl.routes[p.ID] == nil {
+		return nil
+	}
+	pl.lastTry[p.ID] = now
+	pl.release(p.ID)
+	r := pl.plan(p, node, now, r0)
+	if r == nil {
+		return nil
+	}
+	pl.commit(p, r)
+	return r
+}
+
+// transferred records a completed custody transfer: the route advances
+// past the executed hop and the sender's copy is dropped (single-copy
+// forwarding — the receiver is the custodian now). An off-plan transfer
+// discards the route; the next contact re-plans from the new custodian.
+func (pl *Planner) transferred(id packet.ID, from, to packet.NodeID) {
+	r := pl.routes[id]
+	if r != nil && r.next < len(r.hops) && r.hops[r.next].from == from && r.hops[r.next].to == to {
+		r.next++
+	} else {
+		pl.release(id)
+	}
+	if n := pl.nodes[from]; n != nil {
+		n.Store.Remove(id)
+	}
+}
+
+// delivered releases everything the packet still holds.
+func (pl *Planner) delivered(id packet.ID) {
+	pl.release(id)
+	delete(pl.lastTry, id)
+}

@@ -1,0 +1,177 @@
+package routing_test
+
+// The cross-protocol invariant harness: every registered protocol arm
+// runs over a grid of synthetic and constellation scenarios under
+// runtime instrumentation (routing.Hooks), and shared conformance
+// invariants are asserted for each — so a new protocol (CGR today,
+// whatever comes next) inherits these checks by being added to
+// scenario.AllProtos:
+//
+//   1. no packet is delivered before it was created;
+//   2. no packet is counted delivered more than once (physical
+//      re-deliveries of stray replicas are legal DTN behavior, but the
+//      metrics must register the first delivery only);
+//   3. the bytes spent on any transfer opportunity — control plus
+//      data, both directions — never exceed its capacity (a point
+//      meeting's Bytes, a window's Rate×Duration);
+//   4. buffer occupancy never exceeds the node's configured storage
+//      (per BufferBytesFor in heterogeneous scenarios).
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"rapid/internal/packet"
+	"rapid/internal/routing"
+	"rapid/internal/scenario"
+)
+
+// invariantGrid is the scenario matrix: statistical mobility with
+// uniform and heterogeneous storage, and the deterministic
+// constellation plans in both point and windowed form — small enough
+// that the full protocol sweep stays inside the unit-test budget.
+func invariantGrid() []scenario.Scenario {
+	synth := scenario.ScheduleSpec{
+		Source: scenario.SourceExponential, Nodes: 12, Duration: 300,
+		MeanMeeting: 60, TransferBytes: 20 << 10, Alpha: 1, RankSeed: 42,
+	}
+	power := synth
+	power.Source = scenario.SourcePowerLaw
+	constel := scenario.ScheduleSpec{
+		Source: scenario.SourceConstellation,
+		Planes: 2, SatsPerPlane: 3, Ground: 2,
+		OrbitPeriod: 120, Duration: 240,
+		ISLBytes: 16 << 10, GroundBytes: 32 << 10,
+	}
+	passes := constel
+	passes.PassWindow = 12
+	passes.GroundRateBps = 2 << 10
+	passes.ISLWindow = 6
+	passes.ISLRateBps = 1 << 10
+
+	load := func(nodes int) scenario.WorkloadSpec {
+		return scenario.WorkloadSpec{
+			Shape: scenario.ShapePoisson, Load: 8, Window: 50,
+			PacketBytes: 1 << 10, Deadline: 60,
+			NodeCount: nodes, PerPair: true,
+		}
+	}
+	// Tight buffers keep eviction pressure on (invariant 4 must hold
+	// under stress, not just abundance).
+	tight := scenario.Overrides{BufferBytes: 8 << 10, BufferBytesSet: true}
+	hetero := scenario.Overrides{Hetero: scenario.HeteroBuffers{
+		Enabled: true, SmallBytes: 4 << 10, LargeBytes: 16 << 10, SmallEvery: 2,
+	}}
+
+	return []scenario.Scenario{
+		{Family: "inv-exponential", Tag: "inv", Schedule: synth, Workload: load(12), Config: tight},
+		{Family: "inv-hetero", Tag: "inv", Schedule: power, Workload: load(12), Config: hetero},
+		{Family: "inv-constellation", Tag: "inv", Schedule: constel, Workload: load(2), Config: tight},
+		{Family: "inv-passes", Tag: "inv", Schedule: passes, Workload: load(2), Config: tight},
+	}
+}
+
+// TestProtocolInvariants sweeps every registered protocol arm over the
+// grid and asserts the shared invariants via runtime hooks.
+func TestProtocolInvariants(t *testing.T) {
+	for _, base := range invariantGrid() {
+		for _, proto := range scenario.AllProtos() {
+			s := base
+			s.Protocol = proto
+			s.Metric = scenario.NormalizeMetric(proto, s.Metric)
+			t.Run(fmt.Sprintf("%s/%s", s.Family, proto), func(t *testing.T) {
+				checkInvariants(t, s)
+			})
+		}
+	}
+}
+
+func checkInvariants(t *testing.T, s scenario.Scenario) {
+	t.Helper()
+	rs := s.Materialize()
+	if len(rs.Workload) == 0 {
+		t.Fatal("scenario generated no traffic — the grid point is vacuous")
+	}
+	created := make(map[packet.ID]float64, len(rs.Workload))
+	for _, p := range rs.Workload {
+		created[p.ID] = p.Created
+	}
+	capFor := rs.Cfg.CapacityFor
+
+	firstDelivery := make(map[packet.ID]float64)
+	rs.Hooks = &routing.Hooks{
+		OnDelivered: func(id packet.ID, dst packet.NodeID, now float64) {
+			c, ok := created[id]
+			if !ok {
+				t.Errorf("delivered unknown packet %d — a router invented traffic", id)
+				return
+			}
+			if now < c {
+				t.Errorf("packet %d delivered at %v before creation at %v", id, now, c)
+			}
+			if _, again := firstDelivery[id]; !again {
+				firstDelivery[id] = now
+			}
+		},
+		OnOpportunityDone: func(a, b packet.NodeID, capacity, spent int64, windowed bool) {
+			kind := "meeting"
+			if windowed {
+				kind = "window"
+			}
+			if spent < 0 {
+				t.Errorf("%s %d↔%d spent negative bytes %d", kind, a, b, spent)
+			}
+			if spent > capacity {
+				t.Errorf("%s %d↔%d spent %d bytes over its %d-byte capacity", kind, a, b, spent, capacity)
+			}
+		},
+		AfterEvent: func(net *routing.Network) {
+			for id, n := range net.Nodes {
+				if capacity := capFor(id); capacity > 0 && n.Store.Used() > capacity {
+					t.Fatalf("node %d buffers %d bytes over its %d-byte storage", id, n.Store.Used(), capacity)
+				}
+			}
+		},
+	}
+
+	col := routing.Run(rs)
+	sum := col.Summarize(rs.Schedule.Duration)
+	if sum.Delivered == 0 {
+		t.Error("no packet delivered — the grid point exercises nothing")
+	}
+
+	// Invariant 2: the metrics register each packet's first delivery,
+	// exactly once, at the hook-observed instant.
+	if sum.Delivered != len(firstDelivery) {
+		t.Errorf("summary counts %d delivered, runtime observed %d distinct deliveries",
+			sum.Delivered, len(firstDelivery))
+	}
+	for _, r := range col.Records() {
+		if !r.Delivered {
+			if _, seen := firstDelivery[r.P.ID]; seen {
+				t.Errorf("packet %d physically delivered but not recorded", r.P.ID)
+			}
+			continue
+		}
+		first, seen := firstDelivery[r.P.ID]
+		if !seen {
+			t.Errorf("packet %d recorded delivered but never observed by the runtime hook", r.P.ID)
+			continue
+		}
+		if math.Abs(r.DeliveredAt-first) > 1e-9 {
+			t.Errorf("packet %d recorded at %v but first delivered at %v — a duplicate delivery overwrote the record",
+				r.P.ID, r.DeliveredAt, first)
+		}
+		if r.DeliveredAt < r.P.Created {
+			t.Errorf("packet %d recorded delivered at %v before creation at %v", r.P.ID, r.DeliveredAt, r.P.Created)
+		}
+	}
+
+	// Aggregate conservation: total moved bytes cannot exceed total
+	// offered opportunity.
+	if sum.DataBytes+sum.MetaBytes > sum.OpportunityBytes {
+		t.Errorf("moved %d data + %d meta bytes over the %d bytes of total opportunity",
+			sum.DataBytes, sum.MetaBytes, sum.OpportunityBytes)
+	}
+}

@@ -90,6 +90,18 @@ func Solve(sched *trace.Schedule, w packet.Workload, opts Options) *Result {
 		opts.ImprovePasses = 2
 	}
 	meetings := append([]trace.Meeting(nil), sched.Meetings...)
+	// Duration-aware contacts fold in as point meetings at their start
+	// carrying the full-window capacity. This is a relaxation — the
+	// oracle may move a window's last byte at its first instant — so the
+	// result stays a valid upper bound on any online protocol running
+	// the real windowed schedule (every realizable transfer within a
+	// window maps to a no-later transfer at the relaxed meeting, with
+	// identical per-opportunity capacity).
+	for _, c := range sched.Contacts {
+		meetings = append(meetings, trace.Meeting{
+			A: c.A, B: c.B, Time: c.Start, Bytes: c.Capacity(),
+		})
+	}
 	sort.SliceStable(meetings, func(i, j int) bool { return meetings[i].Time < meetings[j].Time })
 	residual := make([]int64, len(meetings))
 	for i, m := range meetings {

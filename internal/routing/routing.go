@@ -84,6 +84,16 @@ type Config struct {
 	DefaultTransferBytes float64
 }
 
+// CapacityFor resolves one node's storage capacity in bytes
+// (<= 0: unlimited) — the single authority the runtime, plan-ahead
+// routers and conformance harnesses all share.
+func (c Config) CapacityFor(id packet.NodeID) int64 {
+	if c.BufferBytesFor != nil {
+		return c.BufferBytesFor(id)
+	}
+	return c.BufferBytes
+}
+
 // DefaultTransferBytesFallback is used when Config.DefaultTransferBytes
 // is unset.
 const DefaultTransferBytesFallback = 100 << 10
@@ -112,6 +122,8 @@ type Network struct {
 	// win tracks live windowed contacts and per-node radio load;
 	// allocated lazily by the first windowed contact (window.go).
 	win *windowState
+	// hooks is the optional conformance instrumentation (nil normally).
+	hooks *Hooks
 }
 
 // Now returns the simulation clock.
@@ -181,6 +193,25 @@ type ReplicaDelayEstimator interface {
 	EstimateReplicaDelay(e *buffer.Entry, holder *Node, now float64) float64
 }
 
+// SchedulePrimer is an optional Router extension for protocols that
+// plan over the full contact schedule before the run starts (contact-
+// graph routing over a deterministic contact plan). Run calls it once
+// per node, in deterministic node order, after every router is attached
+// and before any event executes. Routers sharing one planner should
+// make priming idempotent.
+type SchedulePrimer interface {
+	PrimeSchedule(sched *trace.Schedule, net *Network)
+}
+
+// DeliveryObserver is an optional Router extension notified when a
+// direct delivery it participated in completes — sender and receiver
+// both observe it. Plan-ahead protocols use this to release downstream
+// capacity and buffer reservations the delivered packet no longer
+// needs.
+type DeliveryObserver interface {
+	OnDelivered(id packet.ID, now float64)
+}
+
 // ReplicaDelayFunc evaluates the hypothesized delay of replicating an
 // entry to a fixed holder, against a fixed planning-time snapshot of
 // that holder's state.
@@ -198,6 +229,25 @@ type ReplicaDelaySnapshotter interface {
 
 // RouterFactory builds a fresh Router per node.
 type RouterFactory func(id packet.NodeID) Router
+
+// Hooks is optional runtime instrumentation for conformance testing:
+// the cross-protocol invariant harness attaches one to observe physical
+// deliveries, per-opportunity byte spending, and event-granular network
+// state without touching protocol code. All fields may be nil.
+type Hooks struct {
+	// OnDelivered fires at every physical direct delivery, including
+	// re-deliveries of a packet already delivered through another
+	// replica (legitimate before the ack reaches the extra copies).
+	OnDelivered func(id packet.ID, dst packet.NodeID, now float64)
+	// OnOpportunityDone fires when a transfer opportunity finishes —
+	// a point session returns, or a contact window closes — with its
+	// total capacity and the bytes actually spent (control plus data,
+	// both directions). spent > capacity is a runtime budgeting bug.
+	OnOpportunityDone func(a, b packet.NodeID, capacity, spent int64, windowed bool)
+	// AfterEvent runs after every simulation event with the live
+	// network (buffer-occupancy invariants are asserted here).
+	AfterEvent func(net *Network)
+}
 
 // NewNetwork builds nodes for the given IDs with the factory.
 func NewNetwork(engine *sim.Engine, ids []packet.NodeID, f RouterFactory, cfg Config) *Network {
@@ -217,13 +267,9 @@ func NewNetwork(engine *sim.Engine, ids []packet.NodeID, f RouterFactory, cfg Co
 		net.Global = control.NewGlobal()
 	}
 	for _, id := range ids {
-		capacity := cfg.BufferBytes
-		if cfg.BufferBytesFor != nil {
-			capacity = cfg.BufferBytesFor(id)
-		}
 		n := &Node{
 			ID:    id,
-			Store: buffer.New(capacity),
+			Store: buffer.New(cfg.CapacityFor(id)),
 			Ctl:   control.NewState(id, cfg.Hops, net.Global),
 			Net:   net,
 		}
@@ -241,6 +287,9 @@ type Scenario struct {
 	Factory  RouterFactory
 	Cfg      Config
 	Seed     int64
+	// Hooks attaches conformance instrumentation to the run (nil for
+	// normal runs).
+	Hooks *Hooks
 }
 
 // Run replays the scenario and returns the collector. Packets whose
@@ -251,6 +300,18 @@ func Run(sc Scenario) *metrics.Collector {
 	ids := participantIDs(sc)
 	net := NewNetwork(engine, ids, sc.Factory, sc.Cfg)
 	net.Horizon = sc.Schedule.Duration
+	net.hooks = sc.Hooks
+	if sc.Hooks != nil && sc.Hooks.AfterEvent != nil {
+		engine.AfterEvent = func(*sim.Engine) { sc.Hooks.AfterEvent(net) }
+	}
+
+	// Plan-ahead protocols see the full schedule before any event runs
+	// (the contact plan is known a priori in their deployment setting).
+	for _, id := range ids {
+		if pr, ok := net.Nodes[id].Router.(SchedulePrimer); ok {
+			pr.PrimeSchedule(sc.Schedule, net)
+		}
+	}
 
 	for _, p := range sc.Workload {
 		p := p
@@ -276,10 +337,8 @@ func Run(sc Scenario) *metrics.Collector {
 			})
 			continue
 		}
-		end := c.End()
-		if sc.Schedule.Duration > 0 && end > sc.Schedule.Duration {
-			end = sc.Schedule.Duration // never leave a window dangling past the horizon
-		}
+		// Never leave a window dangling past the horizon.
+		end := c.EndWithin(sc.Schedule.Duration)
 		var w *winContact
 		engine.ScheduleSpan(c.Start, end,
 			func(e *sim.Engine) { w = openWindow(net, c) },

@@ -48,6 +48,10 @@ func RunSession(net *Network, a, b *Node, bytes int64) {
 	s.directDeliver(a, b)
 	s.directDeliver(b, a)
 	s.replicate()
+
+	if h := net.hooks; h != nil && h.OnOpportunityDone != nil {
+		h.OnOpportunityDone(a.ID, b.ID, bytes, bytes-s.budget, false)
+	}
 }
 
 // Remaining returns the unspent byte budget (visible to routers that
@@ -147,6 +151,15 @@ func (s *Session) deliverDirect(from, to *Node, e *buffer.Entry, now float64) {
 	from.Ctl.LearnAck(e.P.ID, now)
 	to.Ctl.LearnAck(e.P.ID, now)
 	from.Store.Remove(e.P.ID)
+	if obs, ok := from.Router.(DeliveryObserver); ok {
+		obs.OnDelivered(e.P.ID, now)
+	}
+	if obs, ok := to.Router.(DeliveryObserver); ok {
+		obs.OnDelivered(e.P.ID, now)
+	}
+	if h := s.net.hooks; h != nil && h.OnDelivered != nil {
+		h.OnDelivered(e.P.ID, to.ID, now)
+	}
 }
 
 // directDeliver sends packets destined to `to` (Protocol rapid Step 2).

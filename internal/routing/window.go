@@ -164,6 +164,10 @@ func closeWindow(net *Network, w *winContact) {
 	ws.load[w.c.B]--
 	// The endpoints' radios are free again: speed up survivors.
 	ws.retime(net, now, w.c.A, w.c.B)
+	if h := net.hooks; h != nil && h.OnOpportunityDone != nil {
+		capacity := w.c.Capacity()
+		h.OnOpportunityDone(w.c.A, w.c.B, capacity, capacity-w.s.budget, true)
+	}
 }
 
 // effRate is the window's current effective rate under fair radio

@@ -229,6 +229,25 @@ func init() {
 		},
 	})
 	Register(Family{
+		Name: "cgr-constellation",
+		Doc:  "plan-ahead CGR versus the reactive comparison set over the deterministic orbital contact plan — the offline oracle (optimal.Solve on the same materialized schedule) brackets both from above",
+		Gen: func(p Params) []Scenario {
+			if len(p.Protocols) == 0 {
+				p.Protocols = CGRComparisonSet()
+			}
+			return grid(p, false, func(_, run int, load float64, proto Proto) Scenario {
+				return Scenario{
+					Family: "cgr-constellation", Tag: p.Tag,
+					Schedule: ConstellationSchedule(p),
+					Workload: constellationWorkload(load, p.Ground, p.OrbitPeriod),
+					Protocol: proto, Metric: NormalizeMetric(proto, core.AvgDelay),
+					Config: constellationOverrides(),
+					Run:    run,
+				}
+			})
+		},
+	})
+	Register(Family{
 		Name: "deployment",
 		Doc:  "perturbed DieselNet days standing in for the physical deployment (Table 3, Fig. 3's 'Real' arm)",
 		Gen: func(p Params) []Scenario {

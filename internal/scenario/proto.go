@@ -3,6 +3,7 @@ package scenario
 import (
 	"rapid/internal/core"
 	"rapid/internal/routing"
+	"rapid/internal/routing/cgr"
 	"rapid/internal/routing/epidemic"
 	"rapid/internal/routing/maxprop"
 	"rapid/internal/routing/prophet"
@@ -16,19 +17,42 @@ type Metric = core.Metric
 // Proto identifies a protocol arm of a scenario.
 type Proto string
 
+// allProtos accumulates every arm declared through newProto, in
+// declaration order — the conformance set the cross-protocol invariant
+// harness sweeps. Declaring an arm any other way is a bug;
+// TestAllProtosHaveArms pins that every entry also has an Arm case.
+var allProtos []Proto
+
+func newProto(name string) Proto {
+	p := Proto(name)
+	allProtos = append(allProtos, p)
+	return p
+}
+
 // The protocol arms of §6.1's comparison set plus the ablation and
-// epidemic arms.
-const (
-	ProtoRapid       Proto = "Rapid"
-	ProtoRapidLocal  Proto = "Rapid: Local"
-	ProtoRapidGlobal Proto = "Rapid: Instant global"
-	ProtoMaxProp     Proto = "MaxProp"
-	ProtoSprayWait   Proto = "Spray and Wait"
-	ProtoProphet     Proto = "Prophet"
-	ProtoRandom      Proto = "Random"
-	ProtoRandomAcks  Proto = "Random: With Acks"
-	ProtoEpidemic    Proto = "Epidemic"
+// epidemic arms, and the plan-ahead CGR arm for deterministic contact
+// plans. Each arm self-registers into AllProtos, so the invariant
+// harness picks up new arms with no further wiring.
+var (
+	ProtoRapid       = newProto("Rapid")
+	ProtoRapidLocal  = newProto("Rapid: Local")
+	ProtoRapidGlobal = newProto("Rapid: Instant global")
+	ProtoMaxProp     = newProto("MaxProp")
+	ProtoSprayWait   = newProto("Spray and Wait")
+	ProtoProphet     = newProto("Prophet")
+	ProtoRandom      = newProto("Random")
+	ProtoRandomAcks  = newProto("Random: With Acks")
+	ProtoEpidemic    = newProto("Epidemic")
+	// ProtoCGR is contact-graph routing: single-copy earliest-arrival
+	// planning over the full expanded schedule (the deterministic
+	// contact-plan setting; internal/routing/cgr).
+	ProtoCGR = newProto("CGR")
 )
+
+// AllProtos returns every declared protocol arm.
+func AllProtos() []Proto {
+	return append([]Proto(nil), allProtos...)
+}
 
 // ComparisonSet is the four-protocol lineup of the headline figures
 // (Prophet "performed worse than the three routing protocols for all
@@ -36,6 +60,13 @@ const (
 // clarity — it stays available via its own Proto).
 func ComparisonSet() []Proto {
 	return []Proto{ProtoRapid, ProtoMaxProp, ProtoSprayWait, ProtoRandom}
+}
+
+// CGRComparisonSet is the plan-ahead lineup: CGR against the reactive
+// comparison set it is measured over (the cgr-constellation family's
+// default arms).
+func CGRComparisonSet() []Proto {
+	return append([]Proto{ProtoCGR}, ComparisonSet()...)
 }
 
 // Arm builds the router factory and config adjustments for a protocol.
@@ -67,6 +98,10 @@ func Arm(p Proto, metric Metric, base routing.Config) (routing.RouterFactory, ro
 		return randomw.New(), cfg
 	case ProtoEpidemic:
 		return epidemic.New(), cfg
+	case ProtoCGR:
+		// The contact plan is shared a priori; no in-band metadata.
+		cfg.Mode = routing.ControlNone
+		return cgr.New(), cfg
 	default:
 		panic("scenario: unknown protocol " + string(p))
 	}

@@ -88,6 +88,11 @@ type Engine struct {
 	// Executed counts events run, useful for progress accounting and
 	// regression tests on determinism.
 	Executed uint64
+	// AfterEvent, when non-nil, runs after every executed event — the
+	// instrumentation point conformance harnesses use to assert
+	// invariants (buffer occupancy, budget conservation) at event
+	// granularity without perturbing the event stream.
+	AfterEvent func(*Engine)
 }
 
 // New returns an engine whose named random streams derive from seed.
@@ -156,6 +161,9 @@ func (e *Engine) Step() bool {
 		e.now = it.at
 		e.Executed++
 		it.ev.Execute(e)
+		if e.AfterEvent != nil {
+			e.AfterEvent(e)
+		}
 		return true
 	}
 	return false

@@ -65,19 +65,36 @@ func (cp *ContactPlan) AddWindow(a, b packet.NodeID, start, period, window, rate
 	})
 }
 
+// MaxOccurrences bounds how many occurrences one periodic contact may
+// expand to. A plan past it is a configuration error (the largest real
+// constellation plans sit around 10⁴–10⁵ per contact), and without the
+// bound a huge horizon over a small period would OOM the expansion that
+// MinPeriod alone cannot prevent.
+const MaxOccurrences = 1 << 20
+
 // Validate checks structural invariants of the plan itself (the
 // expanded schedule re-checks the flattened form via Schedule.Validate).
 func (cp *ContactPlan) Validate() error {
+	// A non-finite horizon would make Expand's t >= Duration
+	// termination test unsatisfiable (NaN compares false forever) or
+	// run a periodic contact without end.
+	if math.IsNaN(cp.Duration) || math.IsInf(cp.Duration, 0) || cp.Duration < 0 {
+		return fmt.Errorf("trace: plan duration %v is not a finite non-negative horizon", cp.Duration)
+	}
 	for i, c := range cp.Contacts {
 		if c.A == c.B {
 			return fmt.Errorf("trace: plan contact %d is a self-contact of node %d", i, c.A)
 		}
-		if c.Start < 0 || math.IsNaN(c.Start) {
+		if c.Start < 0 || math.IsNaN(c.Start) || math.IsInf(c.Start, 0) {
 			return fmt.Errorf("trace: plan contact %d starts at %v", i, c.Start)
 		}
-		if math.IsNaN(c.Period) || (c.Period > 0 && c.Period < MinPeriod) {
+		if math.IsNaN(c.Period) || math.IsInf(c.Period, 0) || (c.Period > 0 && c.Period < MinPeriod) {
 			return fmt.Errorf("trace: plan contact %d has period %v below the %g floor",
 				i, c.Period, MinPeriod)
+		}
+		if c.Period > 0 && (cp.Duration-c.Start)/c.Period > MaxOccurrences {
+			return fmt.Errorf("trace: plan contact %d expands to over %d occurrences (start %v, period %v, horizon %v)",
+				i, MaxOccurrences, c.Start, c.Period, cp.Duration)
 		}
 		if c.Bytes < 0 {
 			return fmt.Errorf("trace: plan contact %d has negative size", i)
@@ -111,10 +128,22 @@ func (cp *ContactPlan) Validate() error {
 // flattens to the byte-identical schedule.
 func (cp *ContactPlan) Expand() *Schedule {
 	s := &Schedule{Duration: cp.Duration}
+	if math.IsNaN(cp.Duration) || math.IsInf(cp.Duration, 0) {
+		// An unvalidated plan must degrade, not hang: NaN makes the
+		// loop's termination test below unsatisfiable.
+		return s
+	}
 	for _, c := range cp.Contacts {
+		if math.IsNaN(c.Start) || math.IsInf(c.Start, 0) ||
+			math.IsNaN(c.Period) || math.IsInf(c.Period, 0) {
+			// Validate rejects these; never loop on them (Inf period
+			// makes Start + 1·Period NaN, Inf start never terminates
+			// against a smaller horizon).
+			continue
+		}
 		for i := 0; ; i++ {
 			t := c.Start + float64(i)*c.Period
-			if t >= cp.Duration {
+			if t >= cp.Duration || i > MaxOccurrences {
 				break
 			}
 			if c.Window > 0 {

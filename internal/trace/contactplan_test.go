@@ -72,13 +72,33 @@ func TestValidateRejectsTinyPeriod(t *testing.T) {
 			t.Errorf("period %g accepted, want rejection", period)
 		}
 	}
-	// The floor itself and one-shot declarations stay legal.
-	ok := &ContactPlan{Duration: 1000}
+	// The floor itself (over a horizon inside the occurrence budget)
+	// and one-shot declarations stay legal.
+	ok := &ContactPlan{Duration: 1}
 	ok.Add(0, 1, 0, MinPeriod, 10)
-	ok.Add(0, 1, 5, 0, 10)
-	ok.Add(0, 1, 7, -1, 10)
+	ok.Add(0, 1, 0.5, 0, 10)
+	ok.Add(0, 1, 0.7, -1, 10)
 	if err := ok.Validate(); err != nil {
 		t.Errorf("legal periods rejected: %v", err)
+	}
+}
+
+// TestValidateRejectsBudgetBustingExpansion: a legal period over a huge
+// horizon still must not expand past the occurrence budget (the OOM
+// guard MinPeriod alone cannot provide).
+func TestValidateRejectsBudgetBustingExpansion(t *testing.T) {
+	cp := &ContactPlan{Duration: 1000}
+	cp.Add(0, 1, 0, MinPeriod, 10) // (1000-0)/1e-6 = 1e9 occurrences
+	if err := cp.Validate(); err == nil {
+		t.Error("billion-occurrence plan accepted, want rejection")
+	}
+	// Non-finite horizons are rejected before any expansion math.
+	for _, d := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -1} {
+		cp := &ContactPlan{Duration: d}
+		cp.Add(0, 1, 0, 10, 10)
+		if err := cp.Validate(); err == nil {
+			t.Errorf("duration %v accepted, want rejection", d)
+		}
 	}
 }
 

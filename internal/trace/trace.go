@@ -54,6 +54,18 @@ func (c Contact) Windowed() bool { return c.Duration > 0 }
 // End returns the time the window closes (Start for point contacts).
 func (c Contact) End() float64 { return c.Start + c.Duration }
 
+// EndWithin returns the close time clipped to the horizon (horizon
+// <= 0 means unbounded) — the shared rule for windows dangling past
+// the end of an experiment, used identically by the runtime's close
+// event and by plan-ahead routers modeling it.
+func (c Contact) EndWithin(horizon float64) float64 {
+	end := c.End()
+	if horizon > 0 && end > horizon {
+		return horizon
+	}
+	return end
+}
+
 // Capacity returns the total transfer opportunity in bytes: the full
 // window at the nominal rate, or Bytes for a point contact.
 func (c Contact) Capacity() int64 {
@@ -148,13 +160,20 @@ func (s *Schedule) TotalBytes() int64 {
 	return t
 }
 
-// Validate checks structural invariants: time-sorted, within duration,
-// non-negative sizes, no self-meetings.
+// Validate checks structural invariants: a finite horizon, time-sorted
+// finite instants within duration, non-negative sizes, no
+// self-meetings.
 func (s *Schedule) Validate() error {
+	if math.IsNaN(s.Duration) || math.IsInf(s.Duration, 0) || s.Duration < 0 {
+		return fmt.Errorf("trace: schedule duration %v is not a finite non-negative horizon", s.Duration)
+	}
 	prev := -1.0
 	for i, m := range s.Meetings {
 		if m.A == m.B {
 			return fmt.Errorf("trace: meeting %d is a self-meeting of node %d", i, m.A)
+		}
+		if math.IsNaN(m.Time) || math.IsInf(m.Time, 0) {
+			return fmt.Errorf("trace: meeting %d at non-finite time %v", i, m.Time)
 		}
 		if m.Time < prev {
 			return fmt.Errorf("trace: meeting %d out of order (%.3f after %.3f)", i, m.Time, prev)
@@ -172,13 +191,16 @@ func (s *Schedule) Validate() error {
 		if c.A == c.B {
 			return fmt.Errorf("trace: contact %d is a self-contact of node %d", i, c.A)
 		}
+		if math.IsNaN(c.Start) || math.IsInf(c.Start, 0) {
+			return fmt.Errorf("trace: contact %d starts at non-finite time %v", i, c.Start)
+		}
 		if c.Start < prev {
 			return fmt.Errorf("trace: contact %d out of order (%.3f after %.3f)", i, c.Start, prev)
 		}
 		if c.Start < 0 || (s.Duration > 0 && c.Start >= s.Duration) {
 			return fmt.Errorf("trace: contact %d starts at %.3f outside [0,%.3f)", i, c.Start, s.Duration)
 		}
-		if c.Duration < 0 || math.IsNaN(c.Duration) {
+		if c.Duration < 0 || math.IsNaN(c.Duration) || math.IsInf(c.Duration, 0) {
 			return fmt.Errorf("trace: contact %d has duration %v", i, c.Duration)
 		}
 		if c.Windowed() {

@@ -33,6 +33,7 @@ import (
 	"rapid/internal/mobility"
 	"rapid/internal/packet"
 	"rapid/internal/routing"
+	"rapid/internal/routing/cgr"
 	"rapid/internal/routing/epidemic"
 	"rapid/internal/routing/maxprop"
 	"rapid/internal/routing/optimal"
@@ -124,8 +125,12 @@ type Config struct {
 type Protocol struct {
 	name    string
 	factory routing.RouterFactory
-	acks    bool // protocol expects ack flooding (MaxProp)
-	noCtl   bool // protocol uses no control channel at all
+	// newFactory, when set, derives a fresh factory per Run — required
+	// by protocols whose routers share per-run planner state (CGR), so
+	// a Protocol value stays safely reusable across runs.
+	newFactory func() routing.RouterFactory
+	acks       bool // protocol expects ack flooding (MaxProp)
+	noCtl      bool // protocol uses no control channel at all
 }
 
 // Name returns the protocol's display name.
@@ -168,6 +173,15 @@ func Epidemic() Protocol {
 	return Protocol{name: "epidemic", factory: epidemic.New()}
 }
 
+// CGR returns contact-graph routing: single-copy earliest-arrival
+// planning over the full schedule, with per-window capacity and relay
+// buffer reservations, re-planning when a window is missed or cut off.
+// It treats the schedule passed to Run as a contact plan known a
+// priori (the satellite-DTN setting), so it needs no control channel.
+func CGR() Protocol {
+	return Protocol{name: "cgr", newFactory: cgr.New, noCtl: true}
+}
+
 // Result couples the run summary with per-packet records for deeper
 // analysis.
 type Result struct {
@@ -203,10 +217,14 @@ func Run(sched *Schedule, w Workload, p Protocol, cfg Config) Result {
 	} else if cfg.MetaFraction < 0 {
 		rcfg.MetaFraction = 0
 	}
+	factory := p.factory
+	if p.newFactory != nil {
+		factory = p.newFactory()
+	}
 	col := routing.Run(routing.Scenario{
 		Schedule: sched,
 		Workload: w,
-		Factory:  p.factory,
+		Factory:  factory,
 		Cfg:      rcfg,
 		Seed:     cfg.Seed,
 	})

@@ -44,6 +44,7 @@ func TestAllProtocolsRun(t *testing.T) {
 		rapid.Random(),
 		rapid.RandomWithAcks(),
 		rapid.Epidemic(),
+		rapid.CGR(),
 	}
 	for _, p := range protos {
 		res := rapid.Run(sched, w, p, rapid.Config{Seed: 5, BufferBytes: 64 << 10})
@@ -84,6 +85,14 @@ func TestDeterministicRuns(t *testing.T) {
 	b := rapid.Run(sched, w, rapid.RAPID(rapid.MinimizeAvgDelay), rapid.Config{Seed: 11})
 	if a.Summary != b.Summary {
 		t.Errorf("same seed, different summaries:\n%+v\n%+v", a.Summary, b.Summary)
+	}
+	// A Protocol value is reusable across runs even for plan-ahead
+	// protocols with per-run planner state.
+	p := rapid.CGR()
+	c1 := rapid.Run(sched, w, p, rapid.Config{Seed: 11})
+	c2 := rapid.Run(sched, w, p, rapid.Config{Seed: 11})
+	if c1.Summary != c2.Summary {
+		t.Errorf("reused CGR protocol diverged:\n%+v\n%+v", c1.Summary, c2.Summary)
 	}
 }
 
