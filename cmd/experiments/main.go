@@ -37,6 +37,7 @@ func main() {
 		list     = flag.Bool("list", false, "list experiments and exit")
 		families = flag.Bool("families", false, "list registered scenario families and exit")
 		family   = flag.String("family", "", "run a registered scenario family sweep")
+		reps     = flag.Int("reps", 0, "replications per family grid point (overrides the scale's run count; R>=2 adds mean ± 95% CI figures)")
 		workers  = flag.Int("workers", 0, "engine worker-pool size (0 = GOMAXPROCS)")
 		plotW    = flag.Int("plot-width", 72, "ASCII plot width")
 		plotH    = flag.Int("plot-height", 20, "ASCII plot height")
@@ -73,7 +74,7 @@ func main() {
 	}
 
 	if *family != "" {
-		runFamily(*family, sc)
+		runFamily(*family, sc, *reps, *outDir, *plotW, *plotH, *quiet)
 		return
 	}
 
@@ -103,69 +104,60 @@ func main() {
 		start := time.Now()
 		out := e.Run(sc)
 		elapsed := time.Since(start).Round(time.Millisecond)
-
-		var text strings.Builder
-		fmt.Fprintf(&text, "%s — %s (scale %s, %v)\n\n", e.ID, e.Title, sc.Name, elapsed)
-		if out.Figure != nil {
-			fig := toReportFigure(out.Figure)
-			datPath := filepath.Join(*outDir, e.ID+".dat")
-			f, err := os.Create(datPath)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			if err := fig.WriteDat(f); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			f.Close()
-			text.WriteString(fig.RenderASCII(*plotW, *plotH))
-		}
-		if out.Table != nil {
-			tbl := &report.Table{Header: out.Table.Header, Rows: out.Table.Rows}
-			text.WriteString(tbl.Render())
-		}
-		for _, n := range out.Notes {
-			fmt.Fprintf(&text, "\nnote: %s\n", n)
-		}
-		txtPath := filepath.Join(*outDir, e.ID+".txt")
-		if err := os.WriteFile(txtPath, []byte(text.String()), 0o644); err != nil {
+		if err := writeOutput(out, e.ID, e.Title, *outDir, sc, elapsed, *plotW, *plotH, *quiet); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
-		}
-		if !*quiet {
-			fmt.Println(text.String())
-		} else {
-			fmt.Printf("%s done in %v -> %s\n", e.ID, elapsed, txtPath)
 		}
 	}
 }
 
-// runFamily expands a registered scenario family at the chosen scale
-// and prints one summary row per scenario.
-func runFamily(name string, sc exp.Scale) {
-	// Table 4's 15-minute horizon unless the scale overrides it — the
-	// same rule the synthetic figures use (exp.SynthParams.Duration).
-	duration := 900.0
-	if sc.SynthDuration > 0 {
-		duration = sc.SynthDuration
-	}
-	params := scenario.Params{
-		Tag: sc.Name, Days: sc.Days, Runs: sc.Runs, DayHours: sc.DayHours,
-		Loads: sc.SynthLoads, Nodes: 20, Duration: duration,
-		Planes: sc.ConstelPlanes, SatsPerPlane: sc.ConstelSats,
-		Ground: sc.ConstelGround, OrbitPeriod: sc.ConstelPeriod,
-	}
-	switch {
-	case strings.HasPrefix(name, "trace"), name == "deployment":
-		params.Loads = sc.TraceLoads
-	case strings.HasPrefix(name, "constellation"), strings.HasPrefix(name, "cgr"), name == "asym-uplink":
-		params.Loads = sc.ConstelLoads
-		if params.OrbitPeriod > duration {
-			// A horizon shorter than one orbit would leave most of the
-			// plan unexpanded; run at least one full period.
-			params.Duration = params.OrbitPeriod
+// writeOutput renders one experiment artifact: <outDir>/<id>.dat for
+// the series, <outDir>/<id>.txt for the ASCII rendering plus notes, and
+// the ASCII form on stdout unless quiet.
+func writeOutput(out exp.Output, id, title, outDir string, sc exp.Scale, elapsed time.Duration, plotW, plotH int, quiet bool) error {
+	var text strings.Builder
+	fmt.Fprintf(&text, "%s — %s (scale %s, %v)\n\n", id, title, sc.Name, elapsed)
+	if out.Figure != nil {
+		fig := toReportFigure(out.Figure)
+		datPath := filepath.Join(outDir, id+".dat")
+		f, err := os.Create(datPath)
+		if err != nil {
+			return err
 		}
+		if err := fig.WriteDat(f); err != nil {
+			f.Close()
+			return err
+		}
+		f.Close()
+		text.WriteString(fig.RenderASCII(plotW, plotH))
+	}
+	if out.Table != nil {
+		tbl := &report.Table{Header: out.Table.Header, Rows: out.Table.Rows}
+		text.WriteString(tbl.Render())
+	}
+	for _, n := range out.Notes {
+		fmt.Fprintf(&text, "\nnote: %s\n", n)
+	}
+	txtPath := filepath.Join(outDir, id+".txt")
+	if err := os.WriteFile(txtPath, []byte(text.String()), 0o644); err != nil {
+		return err
+	}
+	if !quiet {
+		fmt.Println(text.String())
+	} else {
+		fmt.Printf("%s done in %v -> %s\n", id, elapsed, txtPath)
+	}
+	return nil
+}
+
+// runFamily expands a registered scenario family at the chosen scale
+// and prints one summary row per scenario. With two or more
+// replications per grid point it additionally reduces the family to
+// mean ± 95% CI error-bar figures and writes them to outDir.
+func runFamily(name string, sc exp.Scale, reps int, outDir string, plotW, plotH int, quiet bool) {
+	params := exp.FamilyParams(name, sc)
+	if reps > 0 {
+		params.Runs = reps
 	}
 	scs, err := scenario.Expand(name, params)
 	if err != nil {
@@ -178,7 +170,7 @@ func runFamily(name string, sc exp.Scale) {
 	elapsed := time.Since(start).Round(time.Millisecond)
 
 	tbl := &report.Table{Header: []string{
-		"protocol", "load", "run", "generated", "delivered", "rate", "avg delay (s)", "within deadline",
+		"protocol", "load", "run", "generated", "delivered", "rate", "avg delay (s)", "within deadline", "lost",
 	}}
 	for i, s := range sums {
 		tbl.AddRow(
@@ -190,17 +182,42 @@ func runFamily(name string, sc exp.Scale) {
 			report.Pct(s.DeliveryRate),
 			report.F(s.AvgDelay),
 			report.Pct(s.WithinDeadline),
+			fmt.Sprint(s.LostTransfers),
 		)
 	}
 	fmt.Printf("family %s: %d scenarios on %d workers in %v\n\n", name, len(scs), engine.Workers(), elapsed)
-	fmt.Print(tbl.Render())
+	if !quiet {
+		fmt.Print(tbl.Render())
+	}
+
+	if params.Runs < 2 {
+		return
+	}
+	// Replication statistics: every summary above is already cached, so
+	// the CI reduction re-runs nothing.
+	outs, err := engine.FamilyCI(name, sc, params.Runs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	elapsed = time.Since(start).Round(time.Millisecond)
+	for _, out := range outs {
+		if err := writeOutput(out, out.Figure.ID, out.Figure.Title, outDir, sc, elapsed, plotW, plotH, quiet); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 }
 
 // toReportFigure converts the harness figure into the report type.
 func toReportFigure(f *exp.Figure) *report.Figure {
 	out := &report.Figure{ID: f.ID, Title: f.Title, XLabel: f.XLabel, YLabel: f.YLabel}
 	for _, s := range f.Series {
-		out.Series = append(out.Series, report.Series{Label: s.Label, X: s.X, Y: s.Y})
+		out.Series = append(out.Series, report.Series{Label: s.Label, X: s.X, Y: s.Y, YErr: s.YErr})
 	}
 	return out
 }

@@ -1,0 +1,203 @@
+package disrupt
+
+import (
+	"math"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	ok := []Spec{
+		{},
+		{Enabled: true},
+		{Enabled: true, PContactFail: 0.5, PLoss: 1, JitterSec: 10},
+		{Enabled: true, ChurnDownMean: 30, ChurnUpMean: 60},
+	}
+	for _, s := range ok {
+		if err := s.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", s, err)
+		}
+	}
+	bad := []Spec{
+		{PContactFail: -0.1},
+		{PContactFail: 1.1},
+		{PLoss: math.NaN()},
+		{PLoss: math.Inf(1)},
+		{ChurnDownMean: -1, ChurnUpMean: 10},
+		{ChurnDownMean: 30}, // one-sided churn
+		{ChurnUpMean: 30},   // one-sided churn
+		{JitterSec: -5},
+		{JitterSec: math.Inf(-1)},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", s)
+		}
+	}
+}
+
+func TestActive(t *testing.T) {
+	if (Spec{Enabled: true}).Active() {
+		t.Error("enabled zero-intensity spec reported Active")
+	}
+	if (Spec{PLoss: 0.5}).Active() {
+		t.Error("disabled spec reported Active")
+	}
+	for _, s := range []Spec{
+		{Enabled: true, PLoss: 0.1},
+		{Enabled: true, PContactFail: 0.1},
+		{Enabled: true, JitterSec: 1},
+		{Enabled: true, ChurnDownMean: 1, ChurnUpMean: 1},
+	} {
+		if !s.Active() {
+			t.Errorf("spec %+v not Active", s)
+		}
+	}
+}
+
+// TestZeroIntensityIdentity pins the metamorphic property at the model
+// level: every decision function of an enabled-but-zero model returns
+// its identity value.
+func TestZeroIntensityIdentity(t *testing.T) {
+	m := New(Spec{Enabled: true}, 42)
+	for i := 0; i < 1000; i++ {
+		if m.ContactFails(i) {
+			t.Fatalf("zero-intensity model failed contact %d", i)
+		}
+		if j := m.Jitter(i); j != 0 {
+			t.Fatalf("zero-intensity model jittered contact %d by %v", i, j)
+		}
+		if m.Lost(uint64(i), 7) {
+			t.Fatalf("zero-intensity model lost transfer %d", i)
+		}
+	}
+	if ivs := m.DownIntervals(3, 1e6); ivs != nil {
+		t.Fatalf("zero-intensity model churned: %v", ivs)
+	}
+}
+
+// TestDeterminism: the same (spec, seed) realizes the same disruption,
+// and distinct seeds realize distinct streams.
+func TestDeterminism(t *testing.T) {
+	spec := Spec{Enabled: true, PContactFail: 0.3, PLoss: 0.3, JitterSec: 5,
+		ChurnDownMean: 20, ChurnUpMean: 50}
+	a, b := New(spec, 7), New(spec, 7)
+	other := New(spec, 8)
+	differs := false
+	for i := 0; i < 500; i++ {
+		if a.ContactFails(i) != b.ContactFails(i) || a.Jitter(i) != b.Jitter(i) ||
+			a.Lost(uint64(i), 3) != b.Lost(uint64(i), 3) {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+		if a.ContactFails(i) != other.ContactFails(i) {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Error("seeds 7 and 8 realized identical contact-failure streams")
+	}
+	ivA := a.DownIntervals(2, 1000)
+	ivB := b.DownIntervals(2, 1000)
+	if len(ivA) != len(ivB) {
+		t.Fatalf("same seed churn diverged: %d vs %d intervals", len(ivA), len(ivB))
+	}
+	for i := range ivA {
+		if ivA[i] != ivB[i] {
+			t.Fatalf("same seed churn interval %d diverged: %v vs %v", i, ivA[i], ivB[i])
+		}
+	}
+}
+
+// TestDeriveSeedDecorrelation: sequential simulation seeds (adjacent
+// replications) map to well-separated disruption seeds.
+func TestDeriveSeedDecorrelation(t *testing.T) {
+	seen := map[uint64]bool{}
+	for r := int64(0); r < 100; r++ {
+		s := DeriveSeed(r)
+		if seen[s] {
+			t.Fatalf("DeriveSeed collision at replication %d", r)
+		}
+		seen[s] = true
+	}
+	if DeriveSeed(1) == DeriveSeed(2) {
+		t.Error("adjacent seeds identical")
+	}
+}
+
+func TestChurnIntervals(t *testing.T) {
+	m := New(Spec{Enabled: true, ChurnDownMean: 10, ChurnUpMean: 30}, 99)
+	const horizon = 10_000.0
+	ivs := m.DownIntervals(5, horizon)
+	if len(ivs) == 0 {
+		t.Fatal("no churn intervals over a long horizon")
+	}
+	prevEnd := 0.0
+	var downTotal float64
+	for i, iv := range ivs {
+		if iv.Start < prevEnd {
+			t.Fatalf("interval %d overlaps predecessor: %v after end %v", i, iv, prevEnd)
+		}
+		if iv.End < iv.Start {
+			t.Fatalf("interval %d has negative duration: %v", i, iv)
+		}
+		if iv.Start < 0 || iv.End > horizon {
+			t.Fatalf("interval %d outside [0, %v): %v", i, horizon, iv)
+		}
+		downTotal += iv.End - iv.Start
+		prevEnd = iv.End
+	}
+	// Expected down fraction is 10/(10+30) = 25%; allow a generous band.
+	frac := downTotal / horizon
+	if frac < 0.1 || frac > 0.45 {
+		t.Errorf("down fraction %.3f implausible for mean 10 down / 30 up", frac)
+	}
+	// Down agrees with the intervals (strict interior).
+	iv := ivs[0]
+	mid := (iv.Start + iv.End) / 2
+	if iv.End > iv.Start && !m.Down(5, mid, horizon) {
+		t.Errorf("Down(%v) = false inside interval %v", mid, iv)
+	}
+	if m.Down(5, iv.Start, horizon) {
+		t.Error("Down at interval boundary reported down (boundaries count as up)")
+	}
+}
+
+func TestJitterBounded(t *testing.T) {
+	m := New(Spec{Enabled: true, JitterSec: 7}, 3)
+	var neg, pos bool
+	for i := 0; i < 2000; i++ {
+		j := m.Jitter(i)
+		if math.Abs(j) > 7 {
+			t.Fatalf("jitter %v exceeds ±7", j)
+		}
+		if j < 0 {
+			neg = true
+		}
+		if j > 0 {
+			pos = true
+		}
+	}
+	if !neg || !pos {
+		t.Error("jitter never covered both signs")
+	}
+}
+
+// TestRates: empirical frequencies track the configured probabilities.
+func TestRates(t *testing.T) {
+	m := New(Spec{Enabled: true, PContactFail: 0.2, PLoss: 0.4}, 11)
+	var fails, losses int
+	const n = 20_000
+	for i := 0; i < n; i++ {
+		if m.ContactFails(i) {
+			fails++
+		}
+		if m.Lost(uint64(i), 1) {
+			losses++
+		}
+	}
+	if f := float64(fails) / n; math.Abs(f-0.2) > 0.02 {
+		t.Errorf("contact failure rate %.4f, want ≈0.2", f)
+	}
+	if l := float64(losses) / n; math.Abs(l-0.4) > 0.02 {
+		t.Errorf("loss rate %.4f, want ≈0.4", l)
+	}
+}

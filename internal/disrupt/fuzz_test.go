@@ -1,0 +1,85 @@
+package disrupt
+
+import (
+	"math"
+	"testing"
+
+	"rapid/internal/packet"
+)
+
+// FuzzDisruption drives the spec domain: Validate must reject every
+// non-finite or negative rate, and any accepted spec must expand
+// without hangs, panics, negative-duration down windows, or unbounded
+// jitter — the contract the runtime relies on when it realizes a model
+// over a schedule.
+func FuzzDisruption(f *testing.F) {
+	f.Add(true, 0.1, 0.2, 30.0, 60.0, 5.0, 300.0, uint64(1))
+	f.Add(true, 0.0, 0.0, 0.0, 0.0, 0.0, 900.0, uint64(42))
+	f.Add(false, 0.5, 0.5, 10.0, 10.0, 1.0, 100.0, uint64(7))
+	f.Add(true, 1.0, 1.0, 1e-9, 1e-9, 0.0, 10.0, uint64(3))
+	f.Add(true, -0.1, 2.0, -1.0, math.Inf(1), math.NaN(), 60.0, uint64(9))
+	f.Add(true, 0.0, 0.0, 1e12, 1e-12, 1e9, 1e6, uint64(123))
+	f.Fuzz(func(t *testing.T, enabled bool, pFail, pLoss, downMean, upMean, jitter, horizon float64, seed uint64) {
+		spec := Spec{
+			Enabled:       enabled,
+			PContactFail:  pFail,
+			PLoss:         pLoss,
+			ChurnDownMean: downMean,
+			ChurnUpMean:   upMean,
+			JitterSec:     jitter,
+		}
+		if err := spec.Validate(); err != nil {
+			// Rejected specs must actually be outside the domain.
+			if inDomain(spec) {
+				t.Fatalf("Validate rejected an in-domain spec %+v: %v", spec, err)
+			}
+			return
+		}
+		if !inDomain(spec) {
+			t.Fatalf("Validate accepted an out-of-domain spec %+v", spec)
+		}
+
+		// Sanitize the horizon only — it is runtime input, not spec.
+		if math.IsNaN(horizon) || math.IsInf(horizon, 0) {
+			horizon = 0
+		}
+		horizon = math.Min(math.Abs(horizon), 1e6)
+
+		m := New(spec, seed)
+		for node := 0; node < 3; node++ {
+			prevEnd := 0.0
+			ivs := m.DownIntervals(packet.NodeID(node), horizon)
+			for i, iv := range ivs {
+				if math.IsNaN(iv.Start) || math.IsNaN(iv.End) {
+					t.Fatalf("node %d interval %d is NaN: %v", node, i, iv)
+				}
+				if iv.End < iv.Start {
+					t.Fatalf("node %d interval %d has negative duration: %v", node, i, iv)
+				}
+				if iv.Start < prevEnd {
+					t.Fatalf("node %d interval %d overlaps predecessor: %v", node, i, iv)
+				}
+				if iv.Start < 0 || iv.End > horizon {
+					t.Fatalf("node %d interval %d outside [0, %v]: %v", node, i, horizon, iv)
+				}
+				prevEnd = iv.End
+			}
+		}
+		for i := 0; i < 64; i++ {
+			j := m.Jitter(i)
+			if math.IsNaN(j) || math.Abs(j) > spec.JitterSec {
+				t.Fatalf("jitter %v outside ±%v", j, spec.JitterSec)
+			}
+			m.ContactFails(i)
+			m.Lost(uint64(i), 5)
+		}
+	})
+}
+
+func inDomain(s Spec) bool {
+	prob := func(p float64) bool { return p >= 0 && p <= 1 && !math.IsNaN(p) }
+	rate := func(r float64) bool { return r >= 0 && !math.IsNaN(r) && !math.IsInf(r, 0) }
+	return prob(s.PContactFail) && prob(s.PLoss) &&
+		rate(s.ChurnDownMean) && rate(s.ChurnUpMean) && rate(s.JitterSec) &&
+		(s.ChurnDownMean > 0) == (s.ChurnUpMean > 0)
+}

@@ -28,11 +28,13 @@ type Figure struct {
 	Series []SeriesData
 }
 
-// SeriesData is one curve.
+// SeriesData is one curve. YErr, when non-empty, is the symmetric 95%
+// confidence half-width of each Y over the point's replications.
 type SeriesData struct {
 	Label string
 	X     []float64
 	Y     []float64
+	YErr  []float64
 }
 
 // TableData is a header + rows (Table 3 reproduction).

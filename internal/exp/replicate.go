@@ -1,0 +1,240 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rapid/internal/metrics"
+	"rapid/internal/scenario"
+	"rapid/internal/stat"
+)
+
+// This file is the replication/statistics engine: it expands a
+// registered scenario family at R seeded replications per grid point,
+// fans every replication through the worker pool, and reduces each
+// (protocol, axis) point to mean ± 95% confidence intervals — the
+// error bars the paper's noisy-trace averaging carries and a single
+// replication per point cannot reproduce (DESIGN.md §10).
+
+// ciConfidence is the reported confidence level.
+const ciConfidence = 0.95
+
+// FamilyParams maps a family name and scale onto grid parameters — the
+// single rule shared by cmd/experiments' family runner, the replication
+// engine, and the CI smoke jobs.
+func FamilyParams(name string, sc Scale) scenario.Params {
+	// Table 4's 15-minute horizon unless the scale overrides it — the
+	// same rule the synthetic figures use (SynthParams.Duration).
+	duration := 900.0
+	if sc.SynthDuration > 0 {
+		duration = sc.SynthDuration
+	}
+	p := scenario.Params{
+		Tag: sc.Name, Days: sc.Days, Runs: sc.Runs, DayHours: sc.DayHours,
+		Loads: sc.SynthLoads, Nodes: 20, Duration: duration,
+		Planes: sc.ConstelPlanes, SatsPerPlane: sc.ConstelSats,
+		Ground: sc.ConstelGround, OrbitPeriod: sc.ConstelPeriod,
+	}
+	switch {
+	case strings.HasPrefix(name, "trace"), name == "deployment":
+		p.Loads = sc.TraceLoads
+	case strings.Contains(name, "constellation"), strings.HasPrefix(name, "cgr"), name == "asym-uplink":
+		p.Loads = sc.ConstelLoads
+		if p.OrbitPeriod > p.Duration {
+			// A horizon shorter than one orbit would leave most of the
+			// plan unexpanded; run at least one full period.
+			p.Duration = p.OrbitPeriod
+		}
+	}
+	return p
+}
+
+// repPoint accumulates one (series, x) point's replications.
+type repPoint struct {
+	series string
+	x      float64
+	delay  stat.Welford
+	rate   stat.Welford
+}
+
+// FamilyCI expands the family at reps replications per grid point, runs
+// every replication on the engine, and reduces the family to two
+// error-bar figures — average delay and delivery rate against the
+// family's axis — plus an aggregate mean ± CI table. Families whose
+// scenarios sweep a disruption loss probability (lossy-constellation)
+// use that as the x axis; all others use the workload load.
+func (e *Engine) FamilyCI(name string, sc Scale, reps int) ([]Output, error) {
+	p := FamilyParams(name, sc)
+	if reps > 0 {
+		p.Runs = reps
+	}
+	scs, err := scenario.Expand(name, p)
+	if err != nil {
+		return nil, err
+	}
+	if len(scs) == 0 {
+		return nil, fmt.Errorf("exp: family %q expanded to no scenarios", name)
+	}
+	sums := e.Summaries(scs)
+
+	// The x axis: loss probability when the family sweeps one,
+	// workload load otherwise.
+	lossAxis := false
+	for _, s := range scs {
+		if s.Disruption.PLoss != scs[0].Disruption.PLoss {
+			lossAxis = true
+			break
+		}
+	}
+	xlabel := "packets generated per window per destination"
+	xOf := func(s scenario.Scenario) float64 { return s.Workload.Load }
+	labelOf := func(s scenario.Scenario) string { return string(s.Protocol) }
+	if lossAxis {
+		xlabel = "per-packet loss probability"
+		xOf = func(s scenario.Scenario) float64 { return s.Disruption.PLoss }
+		loads := map[float64]bool{}
+		for _, s := range scs {
+			loads[s.Workload.Load] = true
+		}
+		if len(loads) > 1 {
+			// A loss axis with several workload loads: one series per
+			// (protocol, load) so points never collide.
+			labelOf = func(s scenario.Scenario) string {
+				return fmt.Sprintf("%s (load %g)", s.Protocol, s.Workload.Load)
+			}
+		}
+	}
+
+	// Group replications: the key is the scenario with Run — and the
+	// DieselNet day index, the trace families' second averaging
+	// dimension — erased, so each group is exactly one experiment
+	// point's Days×R independent draws (the paper averages over days
+	// and seeds alike).
+	groups := map[scenario.Scenario]*repPoint{}
+	var order []scenario.Scenario
+	for i, s := range sums {
+		k := scs[i]
+		k.Run = 0
+		k.Schedule.Day = 0
+		g := groups[k]
+		if g == nil {
+			g = &repPoint{series: labelOf(k), x: xOf(k)}
+			groups[k] = g
+			order = append(order, k)
+		}
+		// A zero-delivery replication has no delay sample — Summarize
+		// leaves AvgDelay at 0, and pooling that 0 would drag the delay
+		// mean toward the best possible value exactly when the run
+		// performed worst. The delivery-rate accumulator records the
+		// failure instead.
+		if s.Delivered > 0 {
+			g.delay.Add(s.AvgDelay)
+		}
+		g.rate.Add(s.DeliveryRate)
+	}
+
+	mkFigure := func(id, title, ylabel string, value func(*repPoint) stat.CI) *Figure {
+		fig := &Figure{ID: id, Title: title, XLabel: xlabel, YLabel: ylabel}
+		idx := map[string]int{}
+		for _, k := range order {
+			g := groups[k]
+			ci := value(g)
+			si, ok := idx[g.series]
+			if !ok {
+				si = len(fig.Series)
+				idx[g.series] = si
+				fig.Series = append(fig.Series, SeriesData{Label: g.series})
+			}
+			s := &fig.Series[si]
+			s.X = append(s.X, g.x)
+			s.Y = append(s.Y, ci.Mean)
+			s.YErr = append(s.YErr, ci.Half)
+		}
+		for i := range fig.Series {
+			sortSeriesErr(&fig.Series[i])
+		}
+		return fig
+	}
+
+	tbl := &TableData{Header: []string{
+		"protocol", "x", "reps", "avg delay (s)", "±95%", "delivery rate", "±95%",
+	}}
+	for _, k := range order {
+		g := groups[k]
+		d, r := g.delay.CI(ciConfidence), g.rate.CI(ciConfidence)
+		// r.N is the point's full replication pool; the delay CI spans
+		// the subset that delivered (d.N, equal unless a replication
+		// delivered nothing).
+		tbl.Rows = append(tbl.Rows, []string{
+			g.series, trim(g.x), fmt.Sprint(r.N),
+			trim(d.Mean), trim(d.Half), trim(r.Mean), trim(r.Half),
+		})
+	}
+
+	note := fmt.Sprintf("mean ± 95%% CI over %d seeded replications per point (Student-t)", p.Runs)
+	if days := distinctDays(scs); days > 1 {
+		note = fmt.Sprintf("mean ± 95%% CI over %d days × %d seeded replications pooled per point (Student-t)", days, p.Runs)
+	}
+	note += "; delay pools delivering replications only"
+	return []Output{
+		{
+			Figure: mkFigure(name+"-delay", fmt.Sprintf("%s: average delay (R=%d)", name, p.Runs),
+				"avg delay (s)", func(g *repPoint) stat.CI { return g.delay.CI(ciConfidence) }),
+			Table: tbl,
+			Notes: []string{note},
+		},
+		{
+			Figure: mkFigure(name+"-rate", fmt.Sprintf("%s: delivery rate (R=%d)", name, p.Runs),
+				"fraction delivered", func(g *repPoint) stat.CI { return g.rate.CI(ciConfidence) }),
+			Notes: []string{note},
+		},
+	}, nil
+}
+
+// Replicated runs mk for each replication index in [0, reps) and
+// reduces value over the summaries to one confidence interval — the
+// programmatic single-point form of FamilyCI, used by tests and ad-hoc
+// sweeps.
+func (e *Engine) Replicated(mk func(run int) scenario.Scenario, reps int, value func(metrics.Summary) float64) stat.CI {
+	scs := make([]scenario.Scenario, reps)
+	for r := range scs {
+		scs[r] = mk(r)
+	}
+	var w stat.Welford
+	for _, s := range e.Summaries(scs) {
+		w.Add(value(s))
+	}
+	return w.CI(ciConfidence)
+}
+
+// distinctDays counts the day values a grid sweeps (1 for dayless
+// families).
+func distinctDays(scs []scenario.Scenario) int {
+	days := map[int]bool{}
+	for _, s := range scs {
+		days[s.Schedule.Day] = true
+	}
+	return len(days)
+}
+
+// sortSeriesErr orders a series by X, keeping YErr aligned.
+func sortSeriesErr(s *SeriesData) {
+	idx := make([]int, len(s.X))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return s.X[idx[a]] < s.X[idx[b]] })
+	nx := make([]float64, len(idx))
+	ny := make([]float64, len(idx))
+	ne := make([]float64, len(idx))
+	for i, j := range idx {
+		nx[i], ny[i], ne[i] = s.X[j], s.Y[j], s.YErr[j]
+	}
+	s.X, s.Y, s.YErr = nx, ny, ne
+}
+
+// trim formats a float compactly for the aggregate table.
+func trim(v float64) string {
+	return fmt.Sprintf("%.4g", v)
+}

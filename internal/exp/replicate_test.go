@@ -1,0 +1,152 @@
+package exp
+
+import (
+	"testing"
+
+	"rapid/internal/scenario"
+)
+
+// smallDisruptGrid expands a miniature lossy-constellation grid: R
+// replications of two protocol arms at one load and one loss level.
+func smallDisruptGrid(t *testing.T, tag string, reps int) []scenario.Scenario {
+	t.Helper()
+	scs, err := scenario.Expand("lossy-constellation", scenario.Params{
+		Tag: tag, Runs: reps, Loads: []float64{4},
+		Protocols: []scenario.Proto{scenario.ProtoRapid, scenario.ProtoCGR},
+		Planes:    2, SatsPerPlane: 3, Ground: 2,
+		OrbitPeriod: 120, Duration: 240,
+		LossGrid: []float64{0.25},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scs
+}
+
+// TestReplicationDeterminismAcrossWorkers: the same master seeds yield
+// bit-identical per-replication metrics whether the replications run
+// serially or race each other across a worker pool — the disruption
+// model is realized per run from pure decision functions, so there is
+// no shared RNG to alias across goroutines (CI runs this under -race).
+func TestReplicationDeterminismAcrossWorkers(t *testing.T) {
+	scs := smallDisruptGrid(t, "det", 4)
+	serial := NewEngine(1, 0).Summaries(scs)
+	pooled := NewEngine(8, 0).Summaries(scs)
+	for i := range scs {
+		if serial[i] != pooled[i] {
+			t.Errorf("replication %s/run=%d diverged across worker counts:\n  1 worker:  %+v\n  8 workers: %+v",
+				scs[i].Protocol, scs[i].Run, serial[i], pooled[i])
+		}
+	}
+	// And a fresh engine reproduces the same summaries bit-for-bit.
+	again := NewEngine(8, 0).Summaries(scs)
+	for i := range scs {
+		if serial[i] != again[i] {
+			t.Errorf("replication %s/run=%d not reproducible across engines", scs[i].Protocol, scs[i].Run)
+		}
+	}
+}
+
+// TestReplicationsDiffer: distinct replications of a disrupted point
+// are genuinely independent draws — at 25% loss over a small plan the
+// realizations must not all collapse onto one outcome.
+func TestReplicationsDiffer(t *testing.T) {
+	scs := smallDisruptGrid(t, "indep", 6)
+	sums := NewEngine(0, 0).Summaries(scs)
+	byRun := map[int]int{}
+	for i, s := range sums {
+		if scs[i].Protocol == scenario.ProtoRapid {
+			byRun[scs[i].Run] = s.LostTransfers
+		}
+	}
+	if len(byRun) < 6 {
+		t.Fatalf("expected 6 replications, saw %d", len(byRun))
+	}
+	first, all := byRun[0], true
+	anyLost := false
+	for _, lost := range byRun {
+		if lost != first {
+			all = false
+		}
+		if lost > 0 {
+			anyLost = true
+		}
+	}
+	if !anyLost {
+		t.Fatal("no replication lost a transfer at 25% loss — the model is not engaged")
+	}
+	if all {
+		t.Errorf("all 6 replications lost exactly %d transfers — disruption streams look aliased", first)
+	}
+}
+
+// TestFamilyCI: the replication reduction emits paired error bars and a
+// loss-probability axis for the lossy family.
+func TestFamilyCI(t *testing.T) {
+	sc := Scale{
+		Name: "ci-test", Days: 1, Runs: 3, DayHours: 1,
+		TraceLoads: []float64{4}, SynthLoads: []float64{8},
+		ConstelPlanes: 2, ConstelSats: 3, ConstelGround: 2,
+		ConstelPeriod: 120, ConstelLoads: []float64{4},
+		SynthDuration: 240,
+	}
+	outs, err := NewEngine(0, 0).FamilyCI("lossy-constellation", sc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 2 {
+		t.Fatalf("FamilyCI produced %d outputs, want 2", len(outs))
+	}
+	fig := outs[0].Figure
+	if fig.XLabel != "per-packet loss probability" {
+		t.Errorf("lossy family x-axis = %q, want the loss-probability axis", fig.XLabel)
+	}
+	if len(fig.Series) == 0 {
+		t.Fatal("no series")
+	}
+	for _, s := range fig.Series {
+		if len(s.X) == 0 || len(s.X) != len(s.Y) || len(s.Y) != len(s.YErr) {
+			t.Fatalf("series %q has misaligned X/Y/YErr: %d/%d/%d", s.Label, len(s.X), len(s.Y), len(s.YErr))
+		}
+		for i := 1; i < len(s.X); i++ {
+			if s.X[i] < s.X[i-1] {
+				t.Errorf("series %q x-axis unsorted", s.Label)
+			}
+		}
+	}
+	if outs[0].Table == nil || len(outs[0].Table.Rows) == 0 {
+		t.Error("no aggregate mean ± CI table")
+	}
+}
+
+// TestFamilyCIFoldsDays: multi-day families fold the day dimension
+// into the replication pool — one point per (protocol, load) with
+// Days×R observations, never per-day duplicates colliding at one x.
+func TestFamilyCIFoldsDays(t *testing.T) {
+	sc := Scale{
+		Name: "ci-days", Days: 2, Runs: 2, DayHours: 1,
+		TraceLoads: []float64{4}, SynthLoads: []float64{8},
+		ConstelPlanes: 2, ConstelSats: 3, ConstelGround: 2,
+		ConstelPeriod: 120, ConstelLoads: []float64{4},
+		SynthDuration: 240,
+	}
+	outs, err := NewEngine(0, 0).FamilyCI("trace-comparison", sc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range outs[0].Figure.Series {
+		seen := map[float64]bool{}
+		for _, x := range s.X {
+			if seen[x] {
+				t.Fatalf("series %q has duplicate x=%v — per-day points leaked into the figure", s.Label, x)
+			}
+			seen[x] = true
+		}
+	}
+	// Every point pools Days × R observations.
+	for _, row := range outs[0].Table.Rows {
+		if row[2] != "4" {
+			t.Errorf("point %s/%s pools %s replications, want 4 (2 days × 2 runs)", row[0], row[1], row[2])
+		}
+	}
+}

@@ -41,6 +41,10 @@ type Collector struct {
 	MetaBytes        int64 // control-channel bytes
 	Replications     int   // replica transfers
 	DirectDeliveries int
+	// LostTransfers counts data transfers the disruption layer lost in
+	// flight: their bytes are spent (inside DataBytes' complement of
+	// the opportunity) but no data moved.
+	LostTransfers int
 }
 
 // New returns an empty collector.
@@ -118,6 +122,9 @@ type Summary struct {
 	// ratios.
 	MetaOverData      float64
 	MetaOverBandwidth float64
+	// LostTransfers counts in-flight data transfers lost to the
+	// disruption layer (0 in pristine runs).
+	LostTransfers int
 }
 
 // Summarize reduces the collector at the given horizon (the end of the
@@ -130,6 +137,7 @@ func (c *Collector) Summarize(horizon float64) Summary {
 		OpportunityBytes: c.OpportunityBytes,
 		DataBytes:        c.DataBytes,
 		MetaBytes:        c.MetaBytes,
+		LostTransfers:    c.LostTransfers,
 	}
 	var delaySum, delayAllSum float64
 	var deadlineTotal, deadlineHit int
@@ -246,4 +254,5 @@ func (c *Collector) Merge(o *Collector) {
 	c.MetaBytes += o.MetaBytes
 	c.Replications += o.Replications
 	c.DirectDeliveries += o.DirectDeliveries
+	c.LostTransfers += o.LostTransfers
 }

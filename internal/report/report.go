@@ -13,11 +13,15 @@ import (
 )
 
 // Series is one labeled curve: parallel X/Y slices (e.g. load on X,
-// average delay on Y for one protocol).
+// average delay on Y for one protocol). YErr, when non-empty, carries
+// the symmetric 95%-confidence half-width of each Y (replicated runs);
+// figures without replication statistics leave it nil and render
+// exactly as before.
 type Series struct {
 	Label string
 	X     []float64
 	Y     []float64
+	YErr  []float64
 }
 
 // Figure is a set of curves plus axis metadata, mirroring one figure of
@@ -40,7 +44,11 @@ func (f *Figure) WriteDat(w io.Writer) error {
 	cols := make([]string, 0, len(f.Series)+1)
 	cols = append(cols, "x")
 	for _, s := range f.Series {
-		cols = append(cols, strings.ReplaceAll(s.Label, " ", "_"))
+		label := strings.ReplaceAll(s.Label, " ", "_")
+		cols = append(cols, label)
+		if len(s.YErr) > 0 {
+			cols = append(cols, label+"_err95")
+		}
 	}
 	if _, err := fmt.Fprintf(w, "# %s\n", strings.Join(cols, "\t")); err != nil {
 		return err
@@ -60,11 +68,18 @@ func (f *Figure) WriteDat(w io.Writer) error {
 	for _, x := range xs {
 		row := []string{trimFloat(x)}
 		for _, s := range f.Series {
-			v, ok := s.at(x)
-			if !ok {
-				row = append(row, "-")
+			i, ok := s.at(x)
+			if ok {
+				row = append(row, trimFloat(s.Y[i]))
 			} else {
-				row = append(row, trimFloat(v))
+				row = append(row, "-")
+			}
+			if len(s.YErr) > 0 {
+				if ok && i < len(s.YErr) {
+					row = append(row, trimFloat(s.YErr[i]))
+				} else {
+					row = append(row, "-")
+				}
 			}
 		}
 		if _, err := fmt.Fprintln(w, strings.Join(row, "\t")); err != nil {
@@ -74,11 +89,11 @@ func (f *Figure) WriteDat(w io.Writer) error {
 	return nil
 }
 
-// at finds the Y value at an exact X grid point.
-func (s *Series) at(x float64) (float64, bool) {
+// at finds the index of an exact X grid point.
+func (s *Series) at(x float64) (int, bool) {
 	for i, sx := range s.X {
 		if sx == x {
-			return s.Y[i], true
+			return i, true
 		}
 	}
 	return 0, false

@@ -108,3 +108,44 @@ func TestFloatFormatting(t *testing.T) {
 		t.Error("special values")
 	}
 }
+
+// TestWriteDatErrorColumns: a series with YErr gains a paired _err95
+// column; series without stay exactly as before (golden-figure
+// compatibility).
+func TestWriteDatErrorColumns(t *testing.T) {
+	fig := &Figure{
+		ID: "ci", Title: "with error bars", XLabel: "load", YLabel: "delay",
+		Series: []Series{
+			{Label: "rapid", X: []float64{1, 2}, Y: []float64{10, 20}, YErr: []float64{0.5, 1.5}},
+			{Label: "random", X: []float64{1, 2}, Y: []float64{30, 40}},
+		},
+	}
+	var buf strings.Builder
+	if err := fig.WriteDat(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "rapid\trapid_err95\trandom") {
+		t.Errorf("header missing paired error column:\n%s", out)
+	}
+	if strings.Contains(out, "random_err95") {
+		t.Errorf("error column invented for a series without YErr:\n%s", out)
+	}
+	if !strings.Contains(out, "1\t10\t0.5\t30\n") || !strings.Contains(out, "2\t20\t1.5\t40\n") {
+		t.Errorf("data rows misaligned:\n%s", out)
+	}
+
+	// Without YErr the rendering is byte-identical to the legacy form.
+	legacy := &Figure{
+		ID: "plain", Title: "t", XLabel: "x", YLabel: "y",
+		Series: []Series{{Label: "a b", X: []float64{1}, Y: []float64{2}}},
+	}
+	buf.Reset()
+	if err := legacy.WriteDat(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "# plain: t\n# x=x y=y\n# x\ta_b\n1\t2\n"
+	if buf.String() != want {
+		t.Errorf("legacy rendering changed:\n%q\nwant\n%q", buf.String(), want)
+	}
+}

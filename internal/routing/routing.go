@@ -22,6 +22,7 @@ import (
 
 	"rapid/internal/buffer"
 	"rapid/internal/control"
+	"rapid/internal/disrupt"
 	"rapid/internal/metrics"
 	"rapid/internal/packet"
 	"rapid/internal/sim"
@@ -106,6 +107,12 @@ type Node struct {
 	Router Router
 	Net    *Network
 
+	// Down is maintained by the disruption layer's churn events: while
+	// set, the node neither forwards nor receives — its sessions are
+	// skipped and its live windows cut off. Local packet generation
+	// continues (the application queues; only the radio is dark).
+	Down bool
+
 	// purgeScratch is the session's reused ack-purge victim buffer.
 	purgeScratch []packet.ID
 }
@@ -124,6 +131,29 @@ type Network struct {
 	win *windowState
 	// hooks is the optional conformance instrumentation (nil normally).
 	hooks *Hooks
+	// disrupt is the run's disruption model (nil for pristine runs —
+	// the disabled layer stays entirely off the hot path).
+	disrupt *disrupt.Model
+	// lossSeq counts data transfers, indexing the loss decision stream.
+	lossSeq uint64
+}
+
+// transferLost draws the loss decision for one data transfer. The
+// bytes are already spent when this is consulted — the radio sent
+// them — so a lost transfer burns opportunity without moving data.
+func (n *Network) transferLost(id packet.ID, from, to packet.NodeID, now float64) bool {
+	if n.disrupt == nil {
+		return false
+	}
+	n.lossSeq++
+	if !n.disrupt.Lost(n.lossSeq, id) {
+		return false
+	}
+	n.Collector.LostTransfers++
+	if h := n.hooks; h != nil && h.OnLost != nil {
+		h.OnLost(id, from, to, now)
+	}
+	return true
 }
 
 // Now returns the simulation clock.
@@ -243,7 +273,14 @@ type Hooks struct {
 	// a point session returns, or a contact window closes — with its
 	// total capacity and the bytes actually spent (control plus data,
 	// both directions). spent > capacity is a runtime budgeting bug.
-	OnOpportunityDone func(a, b packet.NodeID, capacity, spent int64, windowed bool)
+	// Opportunities suppressed by the disruption layer (failed
+	// contacts, churned-down endpoints) never fire it.
+	OnOpportunityDone func(a, b packet.NodeID, capacity, spent int64, windowed bool, now float64)
+	// OnLost fires when the disruption layer loses a data transfer in
+	// flight: the bytes were spent but the receiver got nothing, so a
+	// delivery or replication of this packet must not result from this
+	// transfer.
+	OnLost func(id packet.ID, from, to packet.NodeID, now float64)
 	// AfterEvent runs after every simulation event with the live
 	// network (buffer-occupancy invariants are asserted here).
 	AfterEvent func(net *Network)
@@ -287,6 +324,13 @@ type Scenario struct {
 	Factory  RouterFactory
 	Cfg      Config
 	Seed     int64
+	// Disrupt declares the run's stochastic disruption model; the zero
+	// value (Enabled false) is the pristine network and keeps the
+	// disruption layer entirely off the hot path.
+	Disrupt disrupt.Spec
+	// DisruptSeed seeds the disruption decision streams (derive with
+	// disrupt.DeriveSeed so replications stay independent).
+	DisruptSeed uint64
 	// Hooks attaches conformance instrumentation to the run (nil for
 	// normal runs).
 	Hooks *Hooks
@@ -295,6 +339,13 @@ type Scenario struct {
 // Run replays the scenario and returns the collector. Packets whose
 // source or destination never appears in the schedule are still
 // injected (their node simply has no meetings).
+//
+// When sc.Disrupt is enabled, the disruption model is realized over
+// the nominal schedule before any event runs: failed contacts are
+// never scheduled, surviving contacts shift by their jitter draw, and
+// node churn is expanded into down/up toggle events. Plan-ahead
+// protocols still prime on the *nominal* schedule — the whole point of
+// the disruption families is that their plans can break.
 func Run(sc Scenario) *metrics.Collector {
 	engine := sim.New(sc.Seed)
 	ids := participantIDs(sc)
@@ -303,6 +354,14 @@ func Run(sc Scenario) *metrics.Collector {
 	net.hooks = sc.Hooks
 	if sc.Hooks != nil && sc.Hooks.AfterEvent != nil {
 		engine.AfterEvent = func(*sim.Engine) { sc.Hooks.AfterEvent(net) }
+	}
+	var model *disrupt.Model
+	if sc.Disrupt.Enabled {
+		if err := sc.Disrupt.Validate(); err != nil {
+			panic(err.Error())
+		}
+		model = disrupt.New(sc.Disrupt, sc.DisruptSeed)
+		net.disrupt = model
 	}
 
 	// Plan-ahead protocols see the full schedule before any event runs
@@ -321,14 +380,42 @@ func Run(sc Scenario) *metrics.Collector {
 			src.Router.Generate(p, e.Now())
 		})
 	}
+	// contactIdx indexes the disruption decision streams across the
+	// whole nominal schedule: meetings first, then contacts, in
+	// schedule order — stable identity per contact regardless of which
+	// contacts fail.
+	contactIdx := 0
+	horizon := sc.Schedule.Duration
 	for _, m := range sc.Schedule.Meetings {
 		m := m
+		i := contactIdx
+		contactIdx++
+		if model != nil {
+			if model.ContactFails(i) {
+				continue
+			}
+			var ok bool
+			if m.Time, ok = jitterTime(m.Time, model.Jitter(i), horizon); !ok {
+				continue
+			}
+		}
 		engine.ScheduleFunc(m.Time, func(e *sim.Engine) {
 			RunSession(net, net.Node(m.A), net.Node(m.B), m.Bytes)
 		})
 	}
 	for _, c := range sc.Schedule.Contacts {
 		c := c
+		i := contactIdx
+		contactIdx++
+		if model != nil {
+			if model.ContactFails(i) {
+				continue
+			}
+			var ok bool
+			if c.Start, ok = jitterTime(c.Start, model.Jitter(i), horizon); !ok {
+				continue
+			}
+		}
 		if !c.Windowed() {
 			// Zero-duration contacts degrade to point meetings: the
 			// instantaneous session, byte for byte.
@@ -338,7 +425,7 @@ func Run(sc Scenario) *metrics.Collector {
 			continue
 		}
 		// Never leave a window dangling past the horizon.
-		end := c.EndWithin(sc.Schedule.Duration)
+		end := c.EndWithin(horizon)
 		var w *winContact
 		engine.ScheduleSpan(c.Start, end,
 			func(e *sim.Engine) { w = openWindow(net, c) },
@@ -348,8 +435,43 @@ func Run(sc Scenario) *metrics.Collector {
 				}
 			})
 	}
-	engine.RunUntil(sc.Schedule.Duration)
+	// Node churn: expand each node's down intervals into toggle
+	// events. Going down cuts the node's live windows; a contact whose
+	// endpoint is down is skipped at its own event. Scheduled after
+	// the contacts above so a same-instant contact resolves before the
+	// radio drops (FIFO among same-time events).
+	if model != nil {
+		for _, id := range ids {
+			node := net.Nodes[id]
+			for _, iv := range model.DownIntervals(id, horizon) {
+				iv := iv
+				engine.ScheduleFunc(iv.Start, func(e *sim.Engine) {
+					node.Down = true
+					net.churnClose(node.ID)
+				})
+				if iv.End < horizon {
+					engine.ScheduleFunc(iv.End, func(e *sim.Engine) {
+						node.Down = false
+					})
+				}
+			}
+		}
+	}
+	engine.RunUntil(horizon)
 	return net.Collector
+}
+
+// jitterTime shifts a contact instant by its jitter draw. A contact
+// jittered outside the observation window [0, horizon) is missed
+// entirely — it happened before the run began or after it ended, so
+// executing it at a clamped instant would account opportunity that
+// physically never existed.
+func jitterTime(t, jitter, horizon float64) (float64, bool) {
+	t += jitter
+	if t < 0 || (horizon > 0 && t >= horizon) {
+		return 0, false
+	}
+	return t, true
 }
 
 // participantIDs unions schedule nodes and workload endpoints.

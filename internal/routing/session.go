@@ -29,8 +29,13 @@ type Session struct {
 }
 
 // RunSession processes a meeting between nodes a and b with the given
-// transfer-opportunity size.
+// transfer-opportunity size. A meeting with a churned-down endpoint
+// never happens: the dark radio neither forwards nor receives, so no
+// bytes move, nothing is observed, and no opportunity is accounted.
 func RunSession(net *Network, a, b *Node, bytes int64) {
+	if a.Down || b.Down {
+		return
+	}
 	s := &Session{net: net, x: a, y: b, budget: bytes, now: net.Now()}
 	net.Collector.Meetings++
 	net.Collector.OpportunityBytes += bytes
@@ -50,7 +55,7 @@ func RunSession(net *Network, a, b *Node, bytes int64) {
 	s.replicate()
 
 	if h := net.hooks; h != nil && h.OnOpportunityDone != nil {
-		h.OnOpportunityDone(a.ID, b.ID, bytes, bytes-s.budget, false)
+		h.OnOpportunityDone(a.ID, b.ID, bytes, bytes-s.budget, false, s.now)
 	}
 }
 
@@ -173,7 +178,12 @@ func (s *Session) directDeliver(from, to *Node) {
 		if !send {
 			continue
 		}
+		// Bytes are spent before the loss draw: a lost transfer still
+		// burned the radio time.
 		s.budget -= e.P.Size
+		if s.net.transferLost(e.P.ID, from.ID, to.ID, s.now) {
+			continue
+		}
 		s.deliverDirect(from, to, e, s.now)
 	}
 }
@@ -268,9 +278,12 @@ func (s *Session) replicateNext(from, to *Node, plan []*buffer.Entry, i int) (in
 			continue
 		}
 		// Transmit. Bytes are spent whether or not the receiver keeps
-		// the copy (the radio already sent them).
+		// the copy (the radio already sent them) — and a transfer the
+		// disruption layer loses spends them for nothing.
 		s.budget -= e.P.Size
-		s.acceptReplica(from, to, e, s.now, nil)
+		if !s.net.transferLost(e.P.ID, from.ID, to.ID, s.now) {
+			s.acceptReplica(from, to, e, s.now, nil)
+		}
 		return i + 1, false
 	}
 	return i, true

@@ -101,6 +101,12 @@ func (t *transfer) accrue(now float64) {
 // an instantaneous meeting.
 func openWindow(net *Network, c trace.Contact) *winContact {
 	x, y := net.Node(c.A), net.Node(c.B)
+	if x.Down || y.Down {
+		// A window opening against a churned-down radio never
+		// establishes: the whole contact is lost (it does not defer to
+		// the node's return — the pass geometry has moved on by then).
+		return nil
+	}
 	capacity := c.Capacity()
 	s := &Session{net: net, x: x, y: y, budget: capacity, now: net.Now()}
 	net.Collector.Meetings++
@@ -166,7 +172,7 @@ func closeWindow(net *Network, w *winContact) {
 	ws.retime(net, now, w.c.A, w.c.B)
 	if h := net.hooks; h != nil && h.OnOpportunityDone != nil {
 		capacity := w.c.Capacity()
-		h.OnOpportunityDone(w.c.A, w.c.B, capacity, capacity-w.s.budget, true)
+		h.OnOpportunityDone(w.c.A, w.c.B, capacity, capacity-w.s.budget, true, now)
 	}
 }
 
@@ -221,6 +227,12 @@ func (w *winContact) complete(net *Network) {
 	w.cur = nil
 	now := net.Now()
 	w.s.budget -= t.e.P.Size
+	if net.transferLost(t.e.P.ID, t.from.ID, t.to.ID, now) {
+		// Lost in flight: the window radiated the full packet but the
+		// receiver got garbage — budget spent, nothing committed.
+		w.startNext(net, now)
+		return
+	}
 	if t.replicate {
 		w.commitReplica(net, t, now)
 	} else {
@@ -347,6 +359,26 @@ func (w *winContact) nextFromPlan(from, to *Node, plan []*buffer.Entry, i *int) 
 		return e, true
 	}
 	return nil, false
+}
+
+// churnClose cuts off every live window touching a node whose radio
+// just went down: in-flight transfers are truncated exactly as at a
+// natural window close (closeWindow charges the radiated bytes and
+// re-shares the surviving radios).
+func (n *Network) churnClose(id packet.NodeID) {
+	if n.win == nil {
+		return
+	}
+	// Snapshot first: closeWindow splices the live list.
+	var victims []*winContact
+	for _, w := range n.win.live {
+		if w.c.A == id || w.c.B == id {
+			victims = append(victims, w)
+		}
+	}
+	for _, w := range victims {
+		closeWindow(n, w)
+	}
 }
 
 // replicaDelayFn resolves the direction's replica-delay evaluator at

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"rapid/internal/core"
+	"rapid/internal/disrupt"
 	"rapid/internal/trace"
 )
 
@@ -248,6 +249,61 @@ func init() {
 		},
 	})
 	Register(Family{
+		Name: "lossy-constellation",
+		Doc:  "constellation plan under Bernoulli packet loss and stochastic whole-contact failures, swept over a loss-probability axis — where CGR's plan-ahead assumptions meet contacts that silently break",
+		Gen: func(p Params) []Scenario {
+			if len(p.Protocols) == 0 {
+				p.Protocols = CGRComparisonSet()
+			}
+			lossGrid := p.LossGrid
+			if len(lossGrid) == 0 {
+				lossGrid = DefaultLossGrid()
+			}
+			failP := p.ContactFailP
+			if failP == 0 {
+				failP = LossyDefaultContactFailP
+			}
+			var out []Scenario
+			for _, pLoss := range lossGrid {
+				spec := disrupt.Spec{Enabled: true, PLoss: pLoss, PContactFail: failP}
+				out = append(out, grid(p, false, func(_, run int, load float64, proto Proto) Scenario {
+					return Scenario{
+						Family: "lossy-constellation", Tag: p.Tag,
+						Schedule: ConstellationSchedule(p),
+						Workload: constellationWorkload(load, p.Ground, p.OrbitPeriod),
+						Protocol: proto, Metric: NormalizeMetric(proto, core.AvgDelay),
+						Config:     constellationOverrides(),
+						Disruption: spec,
+						Run:        run,
+					}
+				})...)
+			}
+			return out
+		},
+	})
+	Register(Family{
+		Name: "churn-powerlaw",
+		Doc:  "power-law mobility with node churn: nodes drop for exponential down intervals during which they neither forward nor receive — popularity-skewed relays keep vanishing under the protocols that lean on them",
+		Gen: func(p Params) []Scenario {
+			down, up := p.ChurnDownMean, p.ChurnUpMean
+			if down <= 0 || up <= 0 {
+				down, up = ChurnDefaultDownMean, ChurnDefaultUpMean
+			}
+			spec := disrupt.Spec{Enabled: true, ChurnDownMean: down, ChurnUpMean: up}
+			return grid(p, false, func(_, run int, load float64, proto Proto) Scenario {
+				return Scenario{
+					Family: "churn-powerlaw", Tag: p.Tag,
+					Schedule: DefaultSynthSchedule(SourcePowerLaw, p.Nodes, p.Duration),
+					Workload: DefaultSynthWorkload(load, p.Nodes),
+					Protocol: proto, Metric: NormalizeMetric(proto, core.AvgDelay),
+					Config:     defaultSynthOverrides(),
+					Disruption: spec,
+					Run:        run,
+				}
+			})
+		},
+	})
+	Register(Family{
 		Name: "deployment",
 		Doc:  "perturbed DieselNet days standing in for the physical deployment (Table 3, Fig. 3's 'Real' arm)",
 		Gen: func(p Params) []Scenario {
@@ -286,6 +342,27 @@ func ConstellationSchedule(p Params) ScheduleSpec {
 		ISLBytes: 64 << 10, GroundBytes: 128 << 10,
 	}
 }
+
+// Default intensities of the stochastic disruption families
+// (overridable through Params).
+const (
+	// LossyDefaultContactFailP is lossy-constellation's whole-contact
+	// failure probability: one pass in ten silently never happens.
+	LossyDefaultContactFailP = 0.1
+	// ChurnDefaultDownMean and ChurnDefaultUpMean keep a node dark
+	// roughly a quarter of the time, in outages long enough to straddle
+	// several meetings at the synthetic 60 s inter-meeting scale.
+	ChurnDefaultDownMean = 40.0
+	ChurnDefaultUpMean   = 120.0
+)
+
+// DefaultLossGrid is lossy-constellation's loss-probability axis, from
+// no packet loss up to a third of all transfers lost. The
+// whole-contact failure arm stays constant across the axis (a
+// controlled variable), so the x=0 point is the loss-free baseline of
+// a *failing* plan, not a pristine run — re-run with
+// Overrides.Disrupt zeroed for the pristine reference.
+func DefaultLossGrid() []float64 { return []float64{0, 0.05, 0.15, 0.3} }
 
 // asymUplinkRateBps is the asym-uplink family's zenith access-link
 // rate: 16× below groundRateBps, the order-of-magnitude gap between a

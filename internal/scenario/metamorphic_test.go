@@ -1,0 +1,123 @@
+package scenario_test
+
+import (
+	"fmt"
+	"testing"
+
+	"rapid/internal/disrupt"
+	"rapid/internal/scenario"
+)
+
+// metamorphicParams keeps every family's grid small enough that the
+// full registry sweep stays inside the unit-test budget: one load, one
+// replication, two protocol arms, a miniature constellation.
+func metamorphicParams() scenario.Params {
+	return scenario.Params{
+		Tag: "metamorphic", Days: 1, Runs: 1, DayHours: 2,
+		Loads: []float64{4}, Nodes: 10, Duration: 240,
+		Planes: 2, SatsPerPlane: 3, Ground: 2, OrbitPeriod: 120,
+		Protocols: []scenario.Proto{scenario.ProtoRapid, scenario.ProtoCGR},
+		LossGrid:  []float64{0.2},
+	}
+}
+
+// TestMetamorphicZeroDisruption pins the disruption layer's defining
+// equivalence for every registered family: a run under an *enabled*
+// disruption model at zero intensity (p=0 loss, p=0 contact failure,
+// no churn, zero jitter) is indistinguishable — identical summary,
+// hence byte-identical figure output — from a run with the layer
+// disabled. The enabled-but-zero arm exercises the full decision
+// machinery (model construction, per-contact draws, the per-transfer
+// loss stream), so any state the layer leaks into the simulation shows
+// up here.
+func TestMetamorphicZeroDisruption(t *testing.T) {
+	p := metamorphicParams()
+	for _, fam := range scenario.Families() {
+		scs, err := scenario.Expand(fam.Name, p)
+		if err != nil {
+			t.Fatalf("%s: %v", fam.Name, err)
+		}
+		if len(scs) == 0 {
+			t.Errorf("%s: expanded to no scenarios", fam.Name)
+			continue
+		}
+		for _, s := range scs {
+			s := s
+			t.Run(fmt.Sprintf("%s/%s/loss=%g", fam.Name, s.Protocol, s.Disruption.PLoss), func(t *testing.T) {
+				t.Parallel()
+				base := s
+				base.Disruption = disrupt.Spec{}
+				base.Config.Disrupt, base.Config.DisruptSet = disrupt.Spec{}, false
+
+				zero := base
+				zero.Disruption = disrupt.Spec{Enabled: true}
+
+				got, want := zero.Summary(), base.Summary()
+				if got != want {
+					t.Errorf("zero-intensity disruption perturbed the run:\n  disabled: %+v\n  enabled0: %+v", want, got)
+				}
+			})
+		}
+	}
+}
+
+// TestOverridesDisrupt: the Config override replaces the scenario's own
+// Disruption spec — the pristine re-run knob the metamorphic test and
+// ablation sweeps rely on.
+func TestOverridesDisrupt(t *testing.T) {
+	p := metamorphicParams()
+	scs, err := scenario.Expand("lossy-constellation", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := scs[0]
+	if !s.Disruption.Active() {
+		t.Fatal("lossy-constellation scenario carries no active disruption")
+	}
+	if d := s.Disrupt(); d != s.Disruption {
+		t.Errorf("without override, Disrupt() = %+v, want the family spec %+v", d, s.Disruption)
+	}
+	s.Config.Disrupt = disrupt.Spec{Enabled: true, JitterSec: 3}
+	s.Config.DisruptSet = true
+	if d := s.Disrupt(); d != s.Config.Disrupt {
+		t.Errorf("with override, Disrupt() = %+v, want the override %+v", d, s.Config.Disrupt)
+	}
+	rs := s.Materialize()
+	if rs.Disrupt != s.Config.Disrupt {
+		t.Errorf("Materialize carried %+v, want the override", rs.Disrupt)
+	}
+	// And an override of the zero spec disables the model outright.
+	s.Config.Disrupt = disrupt.Spec{}
+	if rs := s.Materialize(); rs.Disrupt.Enabled {
+		t.Error("zero override failed to disable the disruption model")
+	}
+}
+
+// TestDisruptionSeedsIndependent: scenarios differing only in Run
+// derive distinct disruption seeds whose models realize distinct
+// streams — replications are independent draws, not aliases.
+func TestDisruptionSeedsIndependent(t *testing.T) {
+	p := metamorphicParams()
+	scs, err := scenario.Expand("lossy-constellation", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0 := scs[0]
+	s1 := s0
+	s1.Run = 1
+	rs0, rs1 := s0.Materialize(), s1.Materialize()
+	if rs0.DisruptSeed == rs1.DisruptSeed {
+		t.Fatalf("replications 0 and 1 share disruption seed %d", rs0.DisruptSeed)
+	}
+	m0 := disrupt.New(rs0.Disrupt, rs0.DisruptSeed)
+	m1 := disrupt.New(rs1.Disrupt, rs1.DisruptSeed)
+	same := true
+	for i := 0; i < 1000 && same; i++ {
+		if m0.ContactFails(i) != m1.ContactFails(i) || m0.Lost(uint64(i), 1) != m1.Lost(uint64(i), 1) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("replications 0 and 1 realized identical disruption streams over 1000 draws")
+	}
+}

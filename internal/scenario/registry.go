@@ -30,6 +30,17 @@ type Params struct {
 	SatsPerPlane int
 	Ground       int
 	OrbitPeriod  float64
+	// Disruption knobs of the stochastic families (zero = the family's
+	// documented default intensity).
+	//
+	// LossGrid is lossy-constellation's per-packet loss axis;
+	// ContactFailP scales its whole-contact failure arm;
+	// ChurnDownMean/ChurnUpMean shape churn-powerlaw's exponential
+	// down/up intervals in seconds.
+	LossGrid      []float64
+	ContactFailP  float64
+	ChurnDownMean float64
+	ChurnUpMean   float64
 }
 
 // DefaultParams returns a small grid: two days, one seed, two loads.

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"rapid/internal/disrupt"
 	"rapid/internal/metrics"
 	"rapid/internal/mobility"
 	"rapid/internal/packet"
@@ -312,6 +313,13 @@ type Overrides struct {
 	ModeSet bool
 	// Hetero assigns per-node storage classes.
 	Hetero HeteroBuffers
+	// Disrupt replaces the scenario's Disruption spec when DisruptSet —
+	// the knob ablation studies use to re-run a family pristine
+	// (Disrupt zero) or under a different intensity. Applied by
+	// Materialize, not by Apply: disruption is a property of the run,
+	// not of the runtime config.
+	Disrupt    disrupt.Spec
+	DisruptSet bool
 }
 
 // Apply folds the overrides into a runtime config.
@@ -360,8 +368,13 @@ type Scenario struct {
 	Metric Metric
 	// Config declares runtime-config overrides.
 	Config Overrides
+	// Disruption declares the stochastic disruption model (loss,
+	// contact failure, churn, jitter; internal/disrupt). The zero value
+	// is the pristine network. Config.Disrupt overrides it when set.
+	Disruption disrupt.Spec
 	// Run is the averaging-seed index; scenarios differing only in Run
-	// are independent draws of the same experiment point.
+	// are independent draws of the same experiment point — including
+	// independent disruption realizations (DESIGN.md §10).
 	Run int
 }
 
@@ -416,17 +429,33 @@ func (s Scenario) baseConfig() routing.Config {
 	return cfg
 }
 
+// Disrupt resolves the effective disruption spec: the Config override
+// when set, the scenario's own Disruption otherwise.
+func (s Scenario) Disrupt() disrupt.Spec {
+	if s.Config.DisruptSet {
+		return s.Config.Disrupt
+	}
+	return s.Disruption
+}
+
 // Materialize builds the runnable form: schedule, workload, router
-// factory and final config, with all seeds derived.
+// factory and final config, with all seeds derived. The disruption
+// seed derives from the simulation seed, so replications (distinct Run
+// values) realize independent disruption streams.
 func (s Scenario) Materialize() routing.Scenario {
 	schedSeed, wSeed, simSeed := s.Seeds()
 	sched := s.Schedule.Build(schedSeed)
 	w := s.Workload.Build(sched, wSeed)
 	factory, cfg := Arm(s.Protocol, s.Metric, s.baseConfig())
 	s.Config.Apply(&cfg)
-	return routing.Scenario{
+	rs := routing.Scenario{
 		Schedule: sched, Workload: w, Factory: factory, Cfg: cfg, Seed: simSeed,
 	}
+	if d := s.Disrupt(); d.Enabled {
+		rs.Disrupt = d
+		rs.DisruptSeed = disrupt.DeriveSeed(simSeed)
+	}
+	return rs
 }
 
 // Execute materializes and runs the scenario, returning the full
