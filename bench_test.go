@@ -370,6 +370,42 @@ func BenchmarkConstellationPasses(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------
+// Mega-constellation scale (DESIGN.md §10): the 2,024-node LEO shell —
+// DefaultScale's 40 planes × 50 satellites + 24 ground stations over one
+// orbital period — run lazily off the periodic contact plan with a
+// streaming ground-segment workload. This is the structure-of-arrays
+// hot path at its design scale; CI runs it at -benchtime=1x.
+
+// megaGrid expands the mega-constellation family at DefaultScale's mega
+// dimensions for one RAPID arm.
+func megaGrid(tag string) []scenario.Scenario {
+	sc := exp.DefaultScale()
+	scs, err := scenario.Expand("mega-constellation", scenario.Params{
+		Tag: tag, Runs: 1, Loads: []float64{1},
+		Planes: sc.MegaPlanes, SatsPerPlane: sc.MegaSats,
+		Ground: sc.MegaGround, OrbitPeriod: sc.MegaPeriod,
+		Duration: sc.MegaPeriod,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return scs
+}
+
+func BenchmarkMegaConstellation(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := exp.NewEngine(0, 0)
+		grid := megaGrid(fmt.Sprintf("bench-mega-%d", i))
+		for _, s := range e.Summaries(grid) {
+			if s.Generated == 0 || s.Delivered == 0 {
+				b.Fatal("mega-constellation run delivered nothing")
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
 // Parallel sweep engine (DESIGN.md §6): the same ≥4-scenario registry
 // sweep executed with one worker and with GOMAXPROCS workers. On
 // multi-core hardware the workers=N variant shows the engine's

@@ -51,13 +51,16 @@ type Store struct {
 	index map[packet.ID]int
 	// byDst tracks buffered bytes per destination, so queue-position
 	// estimates for a just-created packet (younger than everything
-	// buffered) are O(1).
-	byDst map[packet.NodeID]int64
+	// buffered) are O(1). Destination IDs are dense per run, so both
+	// per-destination structures are slices indexed by NodeID, grown on
+	// demand — map hashing on these paths dominated the routing hot loop
+	// at constellation populations.
+	byDst []int64
 	// queues holds, per destination, the buffered entries in delivery
 	// order (oldest (Created, ID) first — §4.1's direct-delivery queue),
 	// maintained incrementally so routers never re-scan or re-sort the
 	// whole buffer to answer per-destination questions.
-	queues map[packet.NodeID][]*Entry
+	queues [][]*Entry
 	// version counts mutations; consumers caching derived structures
 	// (RAPID's queue index and delay estimates) compare versions instead
 	// of rebuilding per contact.
@@ -72,8 +75,6 @@ func New(capacity int64) *Store {
 		capacity: capacity,
 		entries:  make(map[packet.ID]*Entry),
 		index:    make(map[packet.ID]int),
-		byDst:    make(map[packet.NodeID]int64),
-		queues:   make(map[packet.NodeID][]*Entry),
 	}
 }
 
@@ -137,6 +138,7 @@ func (s *Store) Insert(e *Entry, util Utility) bool {
 	s.index[e.P.ID] = len(s.order)
 	s.order = append(s.order, e)
 	s.used += need
+	s.ensureDst(e.P.Dst)
 	s.byDst[e.P.Dst] += need
 	q := s.queues[e.P.Dst]
 	i := queuePos(q, e.P.Created, e.P.ID)
@@ -146,6 +148,14 @@ func (s *Store) Insert(e *Entry, util Utility) bool {
 	s.queues[e.P.Dst] = q
 	s.version++
 	return true
+}
+
+// ensureDst grows the dense per-destination arrays to cover dst.
+func (s *Store) ensureDst(dst packet.NodeID) {
+	for len(s.byDst) <= int(dst) {
+		s.byDst = append(s.byDst, 0)
+		s.queues = append(s.queues, nil)
+	}
 }
 
 // queuePos locates the delivery-order position of (created, id) in a
@@ -228,7 +238,12 @@ func (s *Store) Remove(id packet.ID) bool {
 }
 
 // BytesFor returns the total buffered bytes destined to dst.
-func (s *Store) BytesFor(dst packet.NodeID) int64 { return s.byDst[dst] }
+func (s *Store) BytesFor(dst packet.NodeID) int64 {
+	if dst < 0 || int(dst) >= len(s.byDst) {
+		return 0
+	}
+	return s.byDst[dst]
+}
 
 // Version counts mutations of the store's contents.
 func (s *Store) Version() uint64 { return s.version }
@@ -236,15 +251,20 @@ func (s *Store) Version() uint64 { return s.version }
 // Queue returns the buffered entries destined to dst in delivery order
 // (oldest first). The returned slice is shared live state — callers
 // must not modify or retain it across store mutations.
-func (s *Store) Queue(dst packet.NodeID) []*Entry { return s.queues[dst] }
+func (s *Store) Queue(dst packet.NodeID) []*Entry {
+	if dst < 0 || int(dst) >= len(s.queues) {
+		return nil
+	}
+	return s.queues[dst]
+}
 
 // EachQueue calls f once per destination with buffered packets, passing
 // the delivery-ordered queue (same sharing rules as Queue). Iteration
-// order over destinations is unspecified.
+// order over destinations is unspecified (currently ascending by ID).
 func (s *Store) EachQueue(f func(dst packet.NodeID, q []*Entry)) {
 	for dst, q := range s.queues {
 		if len(q) > 0 {
-			f(dst, q)
+			f(packet.NodeID(dst), q)
 		}
 	}
 }

@@ -10,7 +10,9 @@
 package control
 
 import (
+	"cmp"
 	"math"
+	"slices"
 	"sort"
 
 	"rapid/internal/meet"
@@ -152,13 +154,19 @@ type State struct {
 
 	global *Global // non-nil in instant-global mode
 
-	avgTransfer  stat.MovingAverage
-	peerTransfer map[packet.NodeID]float64
+	avgTransfer stat.MovingAverage
+	// peerTransfer holds the last announced average transfer size per
+	// peer, indexed by the run's dense node IDs (NaN = never heard).
+	// Packet-keyed state below stays map-shaped: packet IDs are sparse.
+	peerTransfer []float64
 
-	acked     map[packet.ID]float64 // id -> time learned
-	meta      map[packet.ID]*PacketMeta
-	tableAsOf map[packet.NodeID]float64 // freshness of merged meet tables
-	// tableOwners mirrors tableAsOf's keys in sorted order, so the
+	acked map[packet.ID]float64 // id -> time learned
+	meta  map[packet.ID]*PacketMeta
+	// tableAsOf is the freshness of merged meet tables, indexed by
+	// owner; tableKnown marks owners actually present.
+	tableAsOf  []float64
+	tableKnown []bool
+	// tableOwners mirrors the known owners in sorted order, so the
 	// per-contact gossip loop does not re-sort the owner set.
 	tableOwners []packet.NodeID
 
@@ -169,20 +177,30 @@ type State struct {
 	ackLog  []logEvent
 	metaLog []logEvent
 	// ackScratch/metaScratch are reused result buffers for the delta
-	// queries above (one exchange runs at a time per node).
+	// queries above (one exchange runs at a time per node); seen is the
+	// epoch-stamped dedup set metaChangedSince reuses across exchanges.
 	ackScratch  []packet.ID
 	metaScratch []*PacketMeta
+	seen        map[packet.ID]uint64
+	seenEpoch   uint64
 
 	// metaVer counts ack/replica-metadata mutations; RAPID's estimate
 	// cache compares it instead of re-reading the state every contact.
 	metaVer uint64
 
-	lastExchange map[packet.NodeID]float64
-	// announced tracks, per peer, the delay estimate last announced for
-	// each of this node's buffered packets, for inventory delta
-	// encoding ("The node only sends information about packets whose
-	// information changed since the last exchange", §4.2).
-	announced map[packet.NodeID]map[packet.ID]float64
+	// lastExchange is the time of the previous exchange per peer (dense
+	// by node ID; the zero value is the epoch default the delta encoding
+	// expects).
+	lastExchange []float64
+}
+
+// growFloat extends a dense per-node float slice to cover id, filling
+// new slots with fill.
+func growFloat(s []float64, id packet.NodeID, fill float64) []float64 {
+	for len(s) <= int(id) {
+		s = append(s, fill)
+	}
+	return s
 }
 
 // logEvent is one changelog entry.
@@ -216,15 +234,11 @@ func eventsAfter(log []logEvent, since float64) []logEvent {
 // shared snapshot.
 func NewState(self packet.NodeID, hops int, g *Global) *State {
 	s := &State{
-		self:         self,
-		Meet:         meet.New(self, hops),
-		global:       g,
-		peerTransfer: make(map[packet.NodeID]float64),
-		acked:        make(map[packet.ID]float64),
-		meta:         make(map[packet.ID]*PacketMeta),
-		tableAsOf:    make(map[packet.NodeID]float64),
-		lastExchange: make(map[packet.NodeID]float64),
-		announced:    make(map[packet.NodeID]map[packet.ID]float64),
+		self:   self,
+		Meet:   meet.New(self, hops),
+		global: g,
+		acked:  make(map[packet.ID]float64),
+		meta:   make(map[packet.ID]*PacketMeta),
 	}
 	if g != nil {
 		g.states[self] = s
@@ -283,10 +297,21 @@ func (s *State) AvgTransferOf(node packet.NodeID, def float64) float64 {
 		}
 		return def
 	}
-	if v, ok := s.peerTransfer[node]; ok {
-		return v
+	if int(node) < len(s.peerTransfer) && node >= 0 {
+		if v := s.peerTransfer[node]; !math.IsNaN(v) {
+			return v
+		}
 	}
 	return def
+}
+
+// setPeerTransfer records a peer's announced average transfer size.
+func (s *State) setPeerTransfer(node packet.NodeID, v float64) {
+	if node < 0 {
+		return
+	}
+	s.peerTransfer = growFloat(s.peerTransfer, node, math.NaN())
+	s.peerTransfer[node] = v
 }
 
 // LearnAck records that a packet has been delivered. Metadata for
@@ -456,10 +481,9 @@ func (g *Global) note(item InventoryItem, holder packet.NodeID, now float64) {
 // other node — with an instant channel the matrix is globally current.
 func (g *Global) SyncMeetingTables() {
 	for _, s := range g.states {
-		t := s.Meet.OwnTable()
 		for _, other := range g.states {
 			if other.self != s.self {
-				other.Meet.MergeTable(s.self, t)
+				other.Meet.MergeTableFrom(s.Meet, s.self)
 			}
 		}
 	}
@@ -514,8 +538,8 @@ func Exchange(a, b *State, invA, invB []InventoryItem, now float64, opts Options
 	// 1. Acknowledgments, delta since the last exchange with this peer.
 	// Acks the receiver already knows are suppressed by the summary
 	// vector that prefixes a real exchange, so they cost nothing here.
-	sinceA := a.lastExchange[b.self]
-	sinceB := b.lastExchange[a.self]
+	sinceA := a.lastExchangeWith(b.self)
+	sinceB := b.lastExchangeWith(a.self)
 	for _, pair := range []struct {
 		from, to *State
 		since    float64
@@ -539,10 +563,10 @@ func Exchange(a, b *State, invA, invB []InventoryItem, now float64, opts Options
 	// 2. Average transfer sizes (one scalar each way).
 	if spend(2 * ScalarBytes) {
 		if a.avgTransfer.N() > 0 {
-			b.peerTransfer[a.self] = a.avgTransfer.Value()
+			b.setPeerTransfer(a.self, a.avgTransfer.Value())
 		}
 		if b.avgTransfer.N() > 0 {
-			a.peerTransfer[b.self] = b.avgTransfer.Value()
+			a.setPeerTransfer(b.self, b.avgTransfer.Value())
 		}
 	} else {
 		return finishExchange(a, b, now, res)
@@ -583,22 +607,22 @@ func Exchange(a, b *State, invA, invB []InventoryItem, now float64, opts Options
 	// freshness).
 	for _, dir := range []struct{ from, to *State }{{a, b}, {b, a}} {
 		own := dir.from.Meet.OwnTable()
-		if !spendTable(dir.to, dir.from.self, own, now, spend, &res) {
+		if !spendTable(dir.from, dir.to, dir.from.self, own, now, spend, &res) {
 			return finishExchange(a, b, now, res)
 		}
 		for _, owner := range dir.from.tableOwners {
 			if owner == dir.to.self || owner == dir.from.self {
 				continue
 			}
-			asOf := dir.from.tableAsOf[owner]
-			if asOf <= dir.to.tableAsOf[owner] {
+			asOf := dir.from.tableAsOfFor(owner)
+			if asOf <= dir.to.tableAsOfFor(owner) {
 				continue
 			}
 			t := dir.from.Meet.TableOf(owner)
 			if t == nil {
 				continue
 			}
-			if !spendTable(dir.to, owner, t, asOf, spend, &res) {
+			if !spendTable(dir.from, dir.to, owner, t, asOf, spend, &res) {
 				return finishExchange(a, b, now, res)
 			}
 		}
@@ -645,37 +669,68 @@ func Exchange(a, b *State, invA, invB []InventoryItem, now float64, opts Options
 	return finishExchange(a, b, now, res)
 }
 
-// spendTable transmits one meeting table to `to`, charging its wire
-// size against the exchange budget.
-func spendTable(to *State, owner packet.NodeID, t meet.Table, asOf float64, spend func(int64) bool, res *Result) bool {
+// spendTable transmits one meeting table from `from` to `to`, charging
+// its wire size against the exchange budget. The merge itself runs
+// estimator-to-estimator (MergeTableFrom), which diffs the sorted row
+// mirrors instead of hashing through the map — the map form `t` is
+// passed only to price the wire cost.
+func spendTable(from, to *State, owner packet.NodeID, t meet.Table, asOf float64, spend func(int64) bool, res *Result) bool {
 	cost := TableHeaderBytes + int64(len(t))*MeetEntryBytes
 	if !spend(cost) {
 		return false
 	}
-	to.Meet.MergeTable(owner, t)
+	to.Meet.MergeTableFrom(from.Meet, owner)
 	to.raiseTableAsOf(owner, asOf)
 	res.Tables++
 	return true
 }
 
+// tableAsOfFor returns the freshness of owner's merged table (0 =
+// unknown, the delta baseline).
+func (s *State) tableAsOfFor(owner packet.NodeID) float64 {
+	if owner < 0 || int(owner) >= len(s.tableAsOf) {
+		return 0
+	}
+	return s.tableAsOf[owner]
+}
+
 // raiseTableAsOf records table freshness, keeping the sorted owner
 // mirror in sync (freshness only ever advances).
 func (s *State) raiseTableAsOf(owner packet.NodeID, asOf float64) {
-	if cur, ok := s.tableAsOf[owner]; ok {
-		if asOf > cur {
+	if owner < 0 {
+		return
+	}
+	for len(s.tableAsOf) <= int(owner) {
+		s.tableAsOf = append(s.tableAsOf, 0)
+		s.tableKnown = append(s.tableKnown, false)
+	}
+	if s.tableKnown[owner] {
+		if asOf > s.tableAsOf[owner] {
 			s.tableAsOf[owner] = asOf
 		}
 		return
 	}
 	s.tableAsOf[owner] = asOf
+	s.tableKnown[owner] = true
 	i := sort.Search(len(s.tableOwners), func(i int) bool { return s.tableOwners[i] >= owner })
 	s.tableOwners = append(s.tableOwners, 0)
 	copy(s.tableOwners[i+1:], s.tableOwners[i:])
 	s.tableOwners[i] = owner
 }
 
+// lastExchangeWith returns the time of the previous exchange with peer
+// (0 = never, the epoch default).
+func (s *State) lastExchangeWith(peer packet.NodeID) float64 {
+	if peer < 0 || int(peer) >= len(s.lastExchange) {
+		return 0
+	}
+	return s.lastExchange[peer]
+}
+
 // finishExchange stamps the per-peer exchange times.
 func finishExchange(a, b *State, now float64, res Result) Result {
+	a.lastExchange = growFloat(a.lastExchange, b.self, 0)
+	b.lastExchange = growFloat(b.lastExchange, a.self, 0)
 	a.lastExchange[b.self] = now
 	b.lastExchange[a.self] = now
 	// Record the freshness of each other's own tables.
@@ -693,28 +748,34 @@ func (s *State) acksSince(since float64) []packet.ID {
 	for _, ev := range evs {
 		out = append(out, ev.id)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	s.ackScratch = out
 	return out
 }
 
 // metaChangedSince returns metadata entries updated after `since`,
 // sorted by packet ID, deduplicated from the changelog. The returned
-// slice is a reused scratch valid until the next call.
+// slice is a reused scratch valid until the next call. The dedup set
+// is a reused epoch-stamped map — allocating a fresh map per exchange
+// dominated mega-scale delta cost, and the changelog is too
+// duplicate-heavy for sort-based dedup to win.
 func (s *State) metaChangedSince(since float64) []*PacketMeta {
 	evs := eventsAfter(s.metaLog, since)
-	seen := make(map[packet.ID]bool, len(evs))
+	s.seenEpoch++
+	if s.seen == nil {
+		s.seen = make(map[packet.ID]uint64)
+	}
 	out := s.metaScratch[:0]
 	for _, ev := range evs {
-		if seen[ev.id] {
+		if s.seen[ev.id] == s.seenEpoch {
 			continue
 		}
-		seen[ev.id] = true
+		s.seen[ev.id] = s.seenEpoch
 		if m := s.meta[ev.id]; m != nil && m.Updated > since {
 			out = append(out, m)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	slices.SortFunc(out, func(a, b *PacketMeta) int { return cmp.Compare(a.ID, b.ID) })
 	s.metaScratch = out
 	return out
 }

@@ -24,7 +24,9 @@ import (
 // (§4.1).
 type QueueIndex struct {
 	ahead map[packet.ID]int64
-	byDst map[packet.NodeID][]qent
+	// byDst is indexed by the run's dense destination IDs (packet IDs
+	// are sparse, so ahead stays a map).
+	byDst [][]qent
 }
 
 // qent is one position in a destination queue, with the cumulative
@@ -42,7 +44,6 @@ type qent struct {
 func NewQueueIndex(store *buffer.Store) *QueueIndex {
 	idx := &QueueIndex{
 		ahead: make(map[packet.ID]int64, store.Len()),
-		byDst: make(map[packet.NodeID][]qent),
 	}
 	store.EachQueue(func(dst packet.NodeID, q []*buffer.Entry) {
 		ents := make([]qent, len(q))
@@ -51,6 +52,9 @@ func NewQueueIndex(store *buffer.Store) *QueueIndex {
 			idx.ahead[e.P.ID] = cum
 			ents[i] = qent{created: e.P.Created, id: e.P.ID, size: e.P.Size, cum: cum}
 			cum += e.P.Size
+		}
+		for len(idx.byDst) <= int(dst) {
+			idx.byDst = append(idx.byDst, nil)
 		}
 		idx.byDst[dst] = ents
 	})
@@ -67,6 +71,9 @@ func (q *QueueIndex) BytesAhead(id packet.ID) int64 { return q.ahead[id] }
 // contact peer (the peer's queue as just announced). O(log q) per
 // query.
 func (q *QueueIndex) HypoBytesAhead(p *packet.Packet) int64 {
+	if p.Dst < 0 || int(p.Dst) >= len(q.byDst) {
+		return 0
+	}
 	ents := q.byDst[p.Dst]
 	if len(ents) == 0 {
 		return 0

@@ -117,6 +117,15 @@ type Scale struct {
 	ConstelGround int
 	ConstelPeriod float64
 	ConstelLoads  []float64
+	// MegaPlanes × MegaSats satellites plus MegaGround ground stations
+	// size the mega-constellation scale arm (run lazily off the contact
+	// plan with a streaming workload); MegaPeriod is its orbital period
+	// and MegaLoads its load axis.
+	MegaPlanes int
+	MegaSats   int
+	MegaGround int
+	MegaPeriod float64
+	MegaLoads  []float64
 }
 
 // TinyScale keeps unit/bench runs under a second per figure.
@@ -134,6 +143,10 @@ func TinyScale() Scale {
 		// past the paper's 20 buses (the CI benchmark gate runs this).
 		ConstelPlanes: 8, ConstelSats: 24, ConstelGround: 8,
 		ConstelPeriod: 300, ConstelLoads: []float64{2},
+		// The tiny mega arm is a smoke test of the lazy plan + streaming
+		// workload path, not a scale run (CI's figure matrix uses it).
+		MegaPlanes: 5, MegaSats: 8, MegaGround: 4,
+		MegaPeriod: 300, MegaLoads: []float64{1},
 	}
 }
 
@@ -149,6 +162,10 @@ func DefaultScale() Scale {
 		OptimalLoads:  []float64{1, 2, 4, 6},
 		ConstelPlanes: 12, ConstelSats: 24, ConstelGround: 12,
 		ConstelPeriod: 900, ConstelLoads: []float64{1, 4},
+		// A Starlink-shell-shaped population: 40 planes × 50 satellites
+		// plus 24 ground stations = 2,024 nodes over one LEO period.
+		MegaPlanes: 40, MegaSats: 50, MegaGround: 24,
+		MegaPeriod: 5400, MegaLoads: []float64{1},
 	}
 }
 
@@ -165,6 +182,8 @@ func FullScale() Scale {
 		// A Starlink-shell-shaped population over a full LEO period.
 		ConstelPlanes: 24, ConstelSats: 66, ConstelGround: 24,
 		ConstelPeriod: 5400, ConstelLoads: []float64{1, 2, 4, 8},
+		MegaPlanes: 40, MegaSats: 50, MegaGround: 50,
+		MegaPeriod: 5400, MegaLoads: []float64{1, 2},
 	}
 }
 

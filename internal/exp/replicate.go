@@ -39,6 +39,15 @@ func FamilyParams(name string, sc Scale) scenario.Params {
 	switch {
 	case strings.HasPrefix(name, "trace"), name == "deployment":
 		p.Loads = sc.TraceLoads
+	case name == "mega-constellation":
+		// The scale arm has its own (much larger) population, checked
+		// before the generic constellation case its name also matches.
+		p.Planes, p.SatsPerPlane = sc.MegaPlanes, sc.MegaSats
+		p.Ground, p.OrbitPeriod = sc.MegaGround, sc.MegaPeriod
+		p.Loads = sc.MegaLoads
+		if p.OrbitPeriod > p.Duration {
+			p.Duration = p.OrbitPeriod
+		}
 	case strings.Contains(name, "constellation"), strings.HasPrefix(name, "cgr"), name == "asym-uplink":
 		p.Loads = sc.ConstelLoads
 		if p.OrbitPeriod > p.Duration {

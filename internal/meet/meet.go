@@ -9,6 +9,7 @@ package meet
 
 import (
 	"math"
+	"sort"
 
 	"rapid/internal/packet"
 	"rapid/internal/stat"
@@ -33,41 +34,71 @@ func (t Table) Clone() Table {
 
 // Estimator is one node's view of the network's meeting behaviour. It is
 // not safe for concurrent use.
+//
+// All per-node state is laid out struct-of-arrays style, indexed by the
+// dense node ID space of a run (scenario generators hand out IDs
+// 0..N-1): at mega-constellation populations the former map-keyed
+// layout spent most of the hot path hashing NodeIDs and chasing map
+// buckets. The exported Table type remains a map so the control-channel
+// wire format and the figures stay byte-identical.
 type Estimator struct {
 	self packet.NodeID
 	hops int
 
-	// direct accumulates locally observed inter-meeting gaps per peer.
-	direct map[packet.NodeID]*stat.MovingAverage
+	// direct accumulates locally observed inter-meeting gaps per peer,
+	// indexed by peer ID (nil = never met).
+	direct []*stat.MovingAverage
 	// lastSeen is the time of the previous meeting per peer, to turn
 	// meeting instants into gaps. A virtual meeting at time 0 (epoch
-	// start) bootstraps the first gap, so a single observed meeting
-	// already yields a finite — if rough — estimate that later
-	// observations refine.
-	lastSeen map[packet.NodeID]float64
+	// start) bootstraps the first gap — exactly the semantics of the
+	// slice's zero value — so a single observed meeting already yields a
+	// finite, if rough, estimate that later observations refine.
+	lastSeen []float64
 
 	// tables is the merged matrix: every node's direct table as learned
-	// via the control channel. tables[self] mirrors direct.
-	tables map[packet.NodeID]Table
+	// via the control channel, indexed by owner ID (nil = unknown).
+	// tables[self] mirrors direct. Rows stay sparse maps — a row only
+	// holds the owner's direct peers, and densifying it would cost
+	// O(N²) per estimator.
+	tables []Table
+	// rows mirrors tables as slices sorted by peer ID. Gossip re-merges
+	// whole tables on nearly every contact while changing at most a few
+	// entries; diffing two sorted slices (MergeTableFrom) costs a linear
+	// scan with no hashing, where diffing through the map rows spent the
+	// mega-constellation hot path in map iteration and lookups. The map
+	// stays canonical for the exported Table API; every write path
+	// updates both.
+	rows [][]halfEdge
+	// tablesGen counts row creations; together with version it keys the
+	// KnownTables cache (merging an empty row installs an owner without
+	// perturbing version).
+	tablesGen uint64
 
 	// version invalidates the adjacency cache and shortest-path memo on
 	// any mutation.
 	version uint64
 
 	// adj is the merged matrix flattened into slice-indexed adjacency
-	// lists (node IDs are dense), maintained incrementally as pairs
-	// change: estimating over it is O(h·(V+E)) instead of the O(h·V²)
-	// that map-keyed relaxation cost, and mutations touch only the
-	// affected pair instead of rebuilding the matrix — the difference
-	// between 20-bus and 200-satellite populations.
-	n      int // node universe size: max known ID + 1
-	adj    [][]halfEdge
-	adjIdx []map[packet.NodeID]int32 // position of each neighbor in adj[u]
+	// lists, maintained incrementally as pairs change: estimating over
+	// it is O(h·(V+E)) instead of the O(h·V²) that map-keyed relaxation
+	// cost. Each adj[u] is kept sorted by target ID so membership is a
+	// binary search — the former per-node position maps were the last
+	// map lookups on the merge path.
+	n   int // node universe size: max known ID + 1
+	adj [][]halfEdge
 
 	// memoDist caches per-source distance slices over the current
-	// adjacency.
-	memoVer  uint64
-	memoDist [][]float64
+	// adjacency; distScratch is the relaxation double-buffer.
+	memoVer     uint64
+	memoDist    [][]float64
+	distScratch []float64
+
+	// owners caches KnownTables' sorted owner list (control exchanges
+	// rebuilt and sorted it on every contact).
+	owners     []packet.NodeID
+	ownersVer  uint64
+	ownersGen  uint64
+	ownersFill bool
 }
 
 // halfEdge is one directed arc of the flattened meeting matrix.
@@ -82,13 +113,7 @@ func New(self packet.NodeID, hops int) *Estimator {
 	if hops <= 0 {
 		hops = DefaultHops
 	}
-	e := &Estimator{
-		self:     self,
-		hops:     hops,
-		direct:   make(map[packet.NodeID]*stat.MovingAverage),
-		lastSeen: make(map[packet.NodeID]float64),
-		tables:   map[packet.NodeID]Table{},
-	}
+	e := &Estimator{self: self, hops: hops}
 	e.ensureNode(self)
 	return e
 }
@@ -102,9 +127,10 @@ func (e *Estimator) Hops() int { return e.hops }
 // ObserveMeeting records a meeting with peer at the given time,
 // updating the average inter-meeting gap.
 func (e *Estimator) ObserveMeeting(peer packet.NodeID, now float64) {
-	if peer == e.self {
+	if peer == e.self || peer < 0 {
 		return
 	}
+	e.ensureNode(peer)
 	ma := e.direct[peer]
 	if ma == nil {
 		ma = &stat.MovingAverage{}
@@ -115,26 +141,65 @@ func (e *Estimator) ObserveMeeting(peer packet.NodeID, now float64) {
 	// Refresh the single changed key of the mirrored self table
 	// (rebuilding the whole table per observation was O(degree) on the
 	// hottest write path).
-	t := e.tables[e.self]
-	if t == nil {
-		t = Table{}
-		e.tables[e.self] = t
-	}
+	t := e.ownRow()
 	t[peer] = ma.Value()
+	e.rowUpsert(e.self, peer, ma.Value())
 	e.refreshPair(e.self, peer)
 	e.version++
 }
 
-// ensureNode grows the adjacency arrays to cover id.
+// ownRow returns the self table, creating it on first use.
+func (e *Estimator) ownRow() Table {
+	if e.self < 0 {
+		return Table{}
+	}
+	t := e.tables[e.self]
+	if t == nil {
+		t = Table{}
+		e.tables[e.self] = t
+		e.tablesGen++
+	}
+	return t
+}
+
+// ensureNode grows the dense per-node arrays to cover id.
 func (e *Estimator) ensureNode(id packet.NodeID) {
-	if int(id) < e.n {
+	if id < 0 || int(id) < e.n {
 		return
 	}
 	e.n = int(id) + 1
 	for len(e.adj) < e.n {
 		e.adj = append(e.adj, nil)
-		e.adjIdx = append(e.adjIdx, nil)
+		e.direct = append(e.direct, nil)
+		e.lastSeen = append(e.lastSeen, 0)
+		e.tables = append(e.tables, nil)
+		e.rows = append(e.rows, nil)
 	}
+}
+
+// rowUpsert sets the mirror entry owner→peer, keeping rows[owner]
+// sorted by peer ID.
+func (e *Estimator) rowUpsert(owner, peer packet.NodeID, w float64) {
+	lst := e.rows[owner]
+	i := sort.Search(len(lst), func(k int) bool { return lst[k].to >= peer })
+	if i < len(lst) && lst[i].to == peer {
+		lst[i].w = w
+		return
+	}
+	lst = append(lst, halfEdge{})
+	copy(lst[i+1:], lst[i:])
+	lst[i] = halfEdge{to: peer, w: w}
+	e.rows[owner] = lst
+}
+
+// rowDelete removes the mirror entry owner→peer if present.
+func (e *Estimator) rowDelete(owner, peer packet.NodeID) {
+	lst := e.rows[owner]
+	i := sort.Search(len(lst), func(k int) bool { return lst[k].to >= peer })
+	if i >= len(lst) || lst[i].to != peer {
+		return
+	}
+	e.rows[owner] = append(lst[:i], lst[i+1:]...)
 }
 
 // refreshPair re-derives the (u, v) edge weight from the two directed
@@ -146,12 +211,12 @@ func (e *Estimator) refreshPair(u, v packet.NodeID) {
 	e.ensureNode(u)
 	e.ensureNode(v)
 	w := math.Inf(1)
-	if t, ok := e.tables[u]; ok {
+	if t := e.tables[u]; t != nil {
 		if d, ok := t[v]; ok && d < w {
 			w = d
 		}
 	}
-	if t, ok := e.tables[v]; ok {
+	if t := e.tables[v]; t != nil {
 		if d, ok := t[u]; ok && d < w {
 			w = d
 		}
@@ -165,44 +230,46 @@ func (e *Estimator) refreshPair(u, v packet.NodeID) {
 	e.setArc(v, u, w)
 }
 
-// setArc inserts or updates the directed arc u→v.
-func (e *Estimator) setArc(u, v packet.NodeID, w float64) {
-	idx := e.adjIdx[u]
-	if idx == nil {
-		idx = make(map[packet.NodeID]int32, 4)
-		e.adjIdx[u] = idx
-	}
-	if i, ok := idx[v]; ok {
-		e.adj[u][i].w = w
-		return
-	}
-	idx[v] = int32(len(e.adj[u]))
-	e.adj[u] = append(e.adj[u], halfEdge{to: v, w: w})
+// arcPos binary-searches adj[u] for target v, returning the position it
+// occupies or should occupy.
+func (e *Estimator) arcPos(u, v packet.NodeID) int {
+	lst := e.adj[u]
+	return sort.Search(len(lst), func(i int) bool { return lst[i].to >= v })
 }
 
-// removeArc drops the directed arc u→v if present (swap-removal).
-func (e *Estimator) removeArc(u, v packet.NodeID) {
-	idx := e.adjIdx[u]
-	i, ok := idx[v]
-	if !ok {
+// setArc inserts or updates the directed arc u→v, keeping adj[u] sorted
+// by target.
+func (e *Estimator) setArc(u, v packet.NodeID, w float64) {
+	i := e.arcPos(u, v)
+	lst := e.adj[u]
+	if i < len(lst) && lst[i].to == v {
+		lst[i].w = w
 		return
 	}
-	last := int32(len(e.adj[u]) - 1)
-	if i != last {
-		moved := e.adj[u][last]
-		e.adj[u][i] = moved
-		idx[moved.to] = i
+	lst = append(lst, halfEdge{})
+	copy(lst[i+1:], lst[i:])
+	lst[i] = halfEdge{to: v, w: w}
+	e.adj[u] = lst
+}
+
+// removeArc drops the directed arc u→v if present.
+func (e *Estimator) removeArc(u, v packet.NodeID) {
+	i := e.arcPos(u, v)
+	lst := e.adj[u]
+	if i >= len(lst) || lst[i].to != v {
+		return
 	}
-	e.adj[u] = e.adj[u][:last]
-	delete(idx, v)
+	e.adj[u] = append(lst[:i], lst[i+1:]...)
 }
 
 // DirectTable returns a snapshot of this node's own averages, the
 // payload exchanged as "expected meeting times with nodes" metadata
 // (§4.2).
 func (e *Estimator) DirectTable() Table {
-	if t, ok := e.tables[e.self]; ok {
-		return t.Clone()
+	if e.self >= 0 && int(e.self) < e.n {
+		if t := e.tables[e.self]; t != nil {
+			return t.Clone()
+		}
 	}
 	return Table{}
 }
@@ -211,7 +278,12 @@ func (e *Estimator) DirectTable() Table {
 // form the control channel transmits every contact. Callers must treat
 // it as read-only and must not retain it across estimator mutations
 // (MergeTable copies, so passing it to a peer's merge is safe).
-func (e *Estimator) OwnTable() Table { return e.tables[e.self] }
+func (e *Estimator) OwnTable() Table {
+	if e.self < 0 || int(e.self) >= e.n {
+		return nil
+	}
+	return e.tables[e.self]
+}
 
 // MergeTable installs owner's direct table as learned from a metadata
 // exchange, replacing any older version. The merge diffs in place —
@@ -220,13 +292,15 @@ func (e *Estimator) OwnTable() Table { return e.tables[e.self] }
 // merge leaves the version, and therefore the shortest-path memo,
 // untouched). The passed table is not retained.
 func (e *Estimator) MergeTable(owner packet.NodeID, t Table) {
-	if owner == e.self {
+	if owner == e.self || owner < 0 {
 		return // own table is maintained locally
 	}
+	e.ensureNode(owner)
 	old := e.tables[owner]
 	if old == nil {
 		old = make(Table, len(t))
 		e.tables[owner] = old
+		e.tablesGen++
 	}
 	oldLen := len(old)
 	matched := 0
@@ -239,6 +313,7 @@ func (e *Estimator) MergeTable(owner packet.NodeID, t Table) {
 			}
 		}
 		old[id] = w
+		e.rowUpsert(owner, id, w)
 		e.refreshPair(owner, id)
 		changed = true
 	}
@@ -248,6 +323,7 @@ func (e *Estimator) MergeTable(owner packet.NodeID, t Table) {
 		for id := range old {
 			if _, still := t[id]; !still {
 				delete(old, id)
+				e.rowDelete(owner, id)
 				e.refreshPair(owner, id)
 				changed = true
 			}
@@ -258,20 +334,100 @@ func (e *Estimator) MergeTable(owner packet.NodeID, t Table) {
 	}
 }
 
-// KnownTables returns the set of owners whose tables have been merged
-// (plus self if it has observed anything). Exposed for control-plane
-// delta encoding.
-func (e *Estimator) KnownTables() []packet.NodeID {
-	out := make([]packet.NodeID, 0, len(e.tables))
-	for id := range e.tables {
-		out = append(out, id)
+// MergeTableFrom merges src's stored table of owner into e — the
+// in-process fast path of MergeTable the control channel uses when both
+// endpoints live in the same simulation. Semantics are identical to
+// e.MergeTable(owner, src.TableOf(owner)); the diff runs as a linear
+// merge of the two sorted row mirrors, touching the canonical map only
+// at entries that actually changed.
+func (e *Estimator) MergeTableFrom(src *Estimator, owner packet.NodeID) {
+	if owner == e.self || owner < 0 || src == e {
+		return
 	}
-	return out
+	var incoming []halfEdge
+	if int(owner) < src.n {
+		incoming = src.rows[owner]
+	}
+	e.ensureNode(owner)
+	old := e.tables[owner]
+	if old == nil {
+		old = make(Table, len(incoming))
+		e.tables[owner] = old
+		e.tablesGen++
+	}
+	dst := e.rows[owner]
+	changed := false
+	i, j := 0, 0
+	for i < len(dst) && j < len(incoming) {
+		a, b := dst[i], incoming[j]
+		switch {
+		case a.to == b.to:
+			if a.w != b.w {
+				old[b.to] = b.w
+				e.refreshPair(owner, b.to)
+				changed = true
+			}
+			i++
+			j++
+		case b.to < a.to: // new entry
+			old[b.to] = b.w
+			e.refreshPair(owner, b.to)
+			changed = true
+			j++
+		default: // removed entry
+			delete(old, a.to)
+			e.refreshPair(owner, a.to)
+			changed = true
+			i++
+		}
+	}
+	for ; i < len(dst); i++ {
+		delete(old, dst[i].to)
+		e.refreshPair(owner, dst[i].to)
+		changed = true
+	}
+	for ; j < len(incoming); j++ {
+		old[incoming[j].to] = incoming[j].w
+		e.refreshPair(owner, incoming[j].to)
+		changed = true
+	}
+	// After the diff the row equals the incoming table exactly; rebuild
+	// the mirror as a copy rather than patching entry by entry.
+	if changed {
+		e.rows[owner] = append(e.rows[owner][:0], incoming...)
+		e.version++
+	}
+}
+
+// KnownTables returns the ascending set of owners whose tables have
+// been merged (plus self if it has observed anything). Exposed for
+// control-plane delta encoding. The returned slice is cached behind the
+// mutation counters and must not be modified or retained across
+// estimator mutations.
+func (e *Estimator) KnownTables() []packet.NodeID {
+	if e.ownersFill && e.ownersVer == e.version && e.ownersGen == e.tablesGen {
+		return e.owners
+	}
+	e.owners = e.owners[:0]
+	for id, t := range e.tables {
+		if t != nil {
+			e.owners = append(e.owners, packet.NodeID(id))
+		}
+	}
+	e.ownersVer = e.version
+	e.ownersGen = e.tablesGen
+	e.ownersFill = true
+	return e.owners
 }
 
 // TableOf returns the stored direct table of a node (nil if unknown).
 // The returned map must not be modified.
-func (e *Estimator) TableOf(owner packet.NodeID) Table { return e.tables[owner] }
+func (e *Estimator) TableOf(owner packet.NodeID) Table {
+	if owner < 0 || int(owner) >= e.n {
+		return nil
+	}
+	return e.tables[owner]
+}
 
 // Version counts matrix mutations. Consumers caching derived values
 // (RAPID's delay-estimate cache) compare versions instead of
@@ -314,11 +470,17 @@ func (e *Estimator) Expected(from, to packet.NodeID) float64 {
 // shortestWithin runs h level-synchronous rounds of Bellman-Ford
 // relaxation from src over the adjacency lists, yielding min-cost paths
 // with at most h edges. Each round reads the previous round's
-// distances, so a path can never accumulate more than h hops.
+// distances, so a path can never accumulate more than h hops. The
+// returned slice is freshly allocated (the memo retains it); the
+// double-buffer partner is reused across calls.
 func (e *Estimator) shortestWithin(src packet.NodeID) []float64 {
 	inf := math.Inf(1)
 	cur := make([]float64, e.n)
-	next := make([]float64, e.n)
+	if cap(e.distScratch) < e.n {
+		e.distScratch = make([]float64, e.n)
+	}
+	next := e.distScratch[:e.n]
+	fresh := cur
 	for i := range cur {
 		cur[i] = inf
 	}
@@ -343,6 +505,12 @@ func (e *Estimator) shortestWithin(src packet.NodeID) []float64 {
 		}
 	}
 	cur[src] = 0
+	// An odd number of swaps leaves `cur` pointing at the scratch
+	// buffer; copy back so the memoized row survives the next query.
+	if &cur[0] != &fresh[0] {
+		copy(fresh, cur)
+		cur = fresh
+	}
 	return cur
 }
 

@@ -1,0 +1,136 @@
+package routing_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"rapid/internal/core"
+	"rapid/internal/packet"
+	"rapid/internal/routing"
+	"rapid/internal/routing/epidemic"
+	"rapid/internal/trace"
+)
+
+func testRapidFactory() routing.RouterFactory    { return core.New(core.AvgDelay) }
+func testEpidemicFactory() routing.RouterFactory { return epidemic.New() }
+
+// lazyPlan builds a small mixed contact plan: periodic point meetings,
+// windowed passes (one clipped by the horizon), phase collisions across
+// pairs — every same-instant ordering case the banded scheduler has to
+// get right.
+func lazyPlan() *trace.ContactPlan {
+	cp := &trace.ContactPlan{Duration: 600}
+	cp.Add(0, 1, 10, 60, 64<<10)
+	cp.Add(1, 2, 10, 60, 64<<10) // collides with the pair above
+	cp.Add(2, 3, 25, 45, 64<<10)
+	cp.Add(0, 3, 95, 0, 64<<10) // one-shot
+	cp.AddWindow(1, 3, 40, 120, 30, 4<<10)
+	cp.AddWindow(0, 2, 550, 120, 100, 4<<10) // clipped at the horizon
+	return cp
+}
+
+// lazyWorkload offers Poisson traffic among the plan's nodes.
+func lazyWorkload(t *testing.T, duration float64) packet.Workload {
+	t.Helper()
+	w := packet.Generate(packet.GenConfig{
+		Nodes:                 []packet.NodeID{0, 1, 2, 3},
+		PacketsPerHourPerDest: 4,
+		LoadWindow:            50,
+		Duration:              duration,
+		PacketSize:            1 << 10,
+		Deadline:              200,
+		FirstID:               1,
+	}, rand.New(rand.NewSource(9)))
+	if len(w) == 0 {
+		t.Fatal("workload generator produced no packets")
+	}
+	return w
+}
+
+// summarize runs the scenario and reduces it to the comparable summary.
+func summarize(sc routing.Scenario, horizon float64) any {
+	return routing.Run(sc).Summarize(horizon)
+}
+
+// TestLazyPlanMatchesMaterialized is the layout-equivalence pin of the
+// streaming plan path: the same plan driven through the compressed
+// cursor produces the byte-identical summary as its fully materialized
+// expansion, for every protocol arm that does not force the fallback.
+func TestLazyPlanMatchesMaterialized(t *testing.T) {
+	cp := lazyPlan()
+	w := lazyWorkload(t, cp.Duration)
+	for _, mk := range []struct {
+		name    string
+		factory routing.RouterFactory
+	}{
+		{"rapid", testRapidFactory()},
+		{"epidemic", testEpidemicFactory()},
+	} {
+		t.Run(mk.name, func(t *testing.T) {
+			cfg := routing.Config{
+				Mode: routing.ControlInBand, MetaFraction: -1, Hops: 3,
+				BufferBytes: 64 << 10, DefaultTransferBytes: 64 << 10,
+			}
+			mat := routing.Scenario{
+				Schedule: cp.Expand(), Workload: w,
+				Factory: mk.factory, Cfg: cfg, Seed: 5,
+			}
+			lazy := routing.Scenario{
+				Plan: cp, Workload: w,
+				Factory: mk.factory, Cfg: cfg, Seed: 5,
+			}
+			got, want := summarize(lazy, cp.Duration), summarize(mat, cp.Duration)
+			if got != want {
+				t.Errorf("lazy plan diverged from materialized schedule:\n  materialized: %+v\n  lazy:         %+v", want, got)
+			}
+		})
+	}
+}
+
+// TestStreamingSourceMatchesWorkload: feeding the identical packet
+// sequence through the on-demand source pump instead of upfront
+// scheduling leaves the run byte-identical.
+func TestStreamingSourceMatchesWorkload(t *testing.T) {
+	cp := lazyPlan()
+	w := lazyWorkload(t, cp.Duration)
+	cfg := routing.Config{
+		Mode: routing.ControlInBand, MetaFraction: -1, Hops: 3,
+		BufferBytes: 64 << 10, DefaultTransferBytes: 64 << 10,
+	}
+	sched := cp.Expand()
+	mat := routing.Scenario{
+		Schedule: sched, Workload: w,
+		Factory: testRapidFactory(), Cfg: cfg, Seed: 5,
+	}
+	streamed := routing.Scenario{
+		Schedule: sched, Source: packet.NewSliceSource(w),
+		Factory: testRapidFactory(), Cfg: cfg, Seed: 5,
+	}
+	got, want := summarize(streamed, cp.Duration), summarize(mat, cp.Duration)
+	if got != want {
+		t.Errorf("streamed workload diverged from materialized workload:\n  materialized: %+v\n  streamed:     %+v", want, got)
+	}
+}
+
+// TestLazyStreamingEndToEnd combines both streaming layers — plan
+// cursor and source pump — against the doubly materialized run.
+func TestLazyStreamingEndToEnd(t *testing.T) {
+	cp := lazyPlan()
+	w := lazyWorkload(t, cp.Duration)
+	cfg := routing.Config{
+		Mode: routing.ControlInBand, MetaFraction: -1, Hops: 3,
+		BufferBytes: 64 << 10, DefaultTransferBytes: 64 << 10,
+	}
+	mat := routing.Scenario{
+		Schedule: cp.Expand(), Workload: w,
+		Factory: testRapidFactory(), Cfg: cfg, Seed: 5,
+	}
+	both := routing.Scenario{
+		Plan: cp, Source: packet.NewSliceSource(w),
+		Factory: testRapidFactory(), Cfg: cfg, Seed: 5,
+	}
+	got, want := summarize(both, cp.Duration), summarize(mat, cp.Duration)
+	if got != want {
+		t.Errorf("fully streamed run diverged from fully materialized run:\n  materialized: %+v\n  streamed:     %+v", want, got)
+	}
+}

@@ -317,13 +317,44 @@ func NewNetwork(engine *sim.Engine, ids []packet.NodeID, f RouterFactory, cfg Co
 	return net
 }
 
+// Event bands: the materialized Run schedules everything upfront, so
+// same-instant ordering is fixed by insertion sequence — workload
+// creations, then meetings, then contacts, then churn toggles, with
+// dynamically scheduled events after all of them. Lazily generated
+// streams cannot rely on insertion order (their events are inserted
+// mid-run), so they carry explicit bands reproducing the same
+// same-instant precedence. Band 0 is the default for everything else.
+const (
+	bandPump     = -4 // cursor/source pump re-arms
+	bandWorkload = -3 // streamed packet creations
+	bandMeeting  = -2 // streamed point meetings
+	bandContact  = -1 // streamed window opens/closes
+)
+
 // Scenario couples a schedule, a workload and a protocol for Run.
 type Scenario struct {
+	// Schedule is the materialized contact schedule. Exactly one of
+	// Schedule and Plan must be set.
 	Schedule *trace.Schedule
+	// Plan, when Schedule is nil, drives the run directly off the
+	// compressed periodic contact plan through a streaming cursor:
+	// expanded-schedule memory stays O(plan size) instead of
+	// O(occurrences). Runs needing the flattened schedule anyway —
+	// disruption realization, SchedulePrimer protocols — fall back to a
+	// one-time Expand.
+	Plan *trace.ContactPlan
+	// Workload is the materialized packet workload.
 	Workload packet.Workload
-	Factory  RouterFactory
-	Cfg      Config
-	Seed     int64
+	// Source, when non-nil, replaces Workload with a streaming
+	// generator whose creation events are scheduled on demand.
+	Source  packet.Source
+	Factory RouterFactory
+	Cfg     Config
+	Seed    int64
+	// MergePlanWindows coalesces back-to-back windowed occurrences when
+	// running off Plan (see trace.PlanCursor); semantics-changing, so
+	// opt-in.
+	MergePlanWindows bool
 	// Disrupt declares the run's stochastic disruption model; the zero
 	// value (Enabled false) is the pristine network and keeps the
 	// disruption layer entirely off the hot path.
@@ -348,9 +379,16 @@ type Scenario struct {
 // the disruption families is that their plans can break.
 func Run(sc Scenario) *metrics.Collector {
 	engine := sim.New(sc.Seed)
+	sched := sc.Schedule
+	horizon := 0.0
+	if sched != nil {
+		horizon = sched.Duration
+	} else if sc.Plan != nil {
+		horizon = sc.Plan.Duration
+	}
 	ids := participantIDs(sc)
 	net := NewNetwork(engine, ids, sc.Factory, sc.Cfg)
-	net.Horizon = sc.Schedule.Duration
+	net.Horizon = horizon
 	net.hooks = sc.Hooks
 	if sc.Hooks != nil && sc.Hooks.AfterEvent != nil {
 		engine.AfterEvent = func(*sim.Engine) { sc.Hooks.AfterEvent(net) }
@@ -365,28 +403,56 @@ func Run(sc Scenario) *metrics.Collector {
 	}
 
 	// Plan-ahead protocols see the full schedule before any event runs
-	// (the contact plan is known a priori in their deployment setting).
+	// (the contact plan is known a priori in their deployment setting),
+	// and the disruption layer realizes failures over the flattened
+	// nominal schedule — both force a plan-driven run to materialize.
+	var primers []SchedulePrimer
 	for _, id := range ids {
 		if pr, ok := net.Nodes[id].Router.(SchedulePrimer); ok {
-			pr.PrimeSchedule(sc.Schedule, net)
+			primers = append(primers, pr)
 		}
 	}
+	if sched == nil && (model != nil || len(primers) > 0) {
+		sched = sc.Plan.Expand()
+	}
+	for _, pr := range primers {
+		pr.PrimeSchedule(sched, net)
+	}
 
-	for _, p := range sc.Workload {
-		p := p
-		engine.ScheduleFunc(p.Created, func(e *sim.Engine) {
-			net.Collector.Generated(p)
-			src := net.Node(p.Src)
-			src.Router.Generate(p, e.Now())
-		})
+	if sc.Source != nil {
+		startSourcePump(engine, net, sc.Source)
+	} else {
+		// A lazy plan-driven run carries creations in bandWorkload so the
+		// materialized creations-before-contacts order holds at shared
+		// instants; the materialized path keeps band 0, where insertion
+		// order already encodes it.
+		wband := int32(0)
+		if sched == nil {
+			wband = bandWorkload
+		}
+		for _, p := range sc.Workload {
+			p := p
+			engine.ScheduleBandFunc(p.Created, wband, func(e *sim.Engine) {
+				net.Collector.Generated(p)
+				src := net.Node(p.Src)
+				src.Router.Generate(p, e.Now())
+			})
+		}
+	}
+	if sched == nil {
+		// Streaming plan-driven run: a pump walks the compressed cursor
+		// and schedules each occurrence just in time, in the banded
+		// order matching the materialized path.
+		startPlanPump(engine, net, sc.Plan.Cursor(sc.MergePlanWindows), horizon)
+		engine.RunUntil(horizon)
+		return net.Collector
 	}
 	// contactIdx indexes the disruption decision streams across the
 	// whole nominal schedule: meetings first, then contacts, in
 	// schedule order — stable identity per contact regardless of which
 	// contacts fail.
 	contactIdx := 0
-	horizon := sc.Schedule.Duration
-	for _, m := range sc.Schedule.Meetings {
+	for _, m := range sched.Meetings {
 		m := m
 		i := contactIdx
 		contactIdx++
@@ -403,7 +469,7 @@ func Run(sc Scenario) *metrics.Collector {
 			RunSession(net, net.Node(m.A), net.Node(m.B), m.Bytes)
 		})
 	}
-	for _, c := range sc.Schedule.Contacts {
+	for _, c := range sched.Contacts {
 		c := c
 		i := contactIdx
 		contactIdx++
@@ -474,7 +540,8 @@ func jitterTime(t, jitter, horizon float64) (float64, bool) {
 	return t, true
 }
 
-// participantIDs unions schedule nodes and workload endpoints.
+// participantIDs unions schedule (or plan) nodes and workload (or
+// source) endpoints.
 func participantIDs(sc Scenario) []packet.NodeID {
 	seen := map[packet.NodeID]bool{}
 	var ids []packet.NodeID
@@ -484,12 +551,97 @@ func participantIDs(sc Scenario) []packet.NodeID {
 			ids = append(ids, id)
 		}
 	}
-	for _, id := range sc.Schedule.Nodes() {
-		add(id)
+	switch {
+	case sc.Schedule != nil:
+		for _, id := range sc.Schedule.Nodes() {
+			add(id)
+		}
+	case sc.Plan != nil:
+		for _, id := range sc.Plan.Nodes() {
+			add(id)
+		}
+	}
+	if sc.Source != nil {
+		for _, id := range sc.Source.Endpoints() {
+			add(id)
+		}
 	}
 	for _, p := range sc.Workload {
 		add(p.Src)
 		add(p.Dst)
 	}
 	return ids
+}
+
+// startSourcePump schedules streamed packet creations on demand: one
+// pump event per distinct creation instant injects that instant's
+// packets (in source order) and re-arms at the next instant. Creations
+// run in bandWorkload, preserving the materialized path's
+// creations-before-contacts order at shared instants.
+func startSourcePump(engine *sim.Engine, net *Network, src packet.Source) {
+	pending, ok := src.Next()
+	if !ok {
+		return
+	}
+	var pump func(e *sim.Engine)
+	pump = func(e *sim.Engine) {
+		t := pending.Created
+		for {
+			p := pending
+			net.Collector.Generated(p)
+			net.Node(p.Src).Router.Generate(p, e.Now())
+			if pending, ok = src.Next(); !ok {
+				return
+			}
+			if pending.Created != t {
+				engine.ScheduleBandFunc(pending.Created, bandWorkload, pump)
+				return
+			}
+		}
+	}
+	engine.ScheduleBandFunc(pending.Created, bandWorkload, pump)
+}
+
+// startPlanPump schedules contact-plan occurrences on demand from the
+// compressed cursor: at each distinct occurrence instant the pump
+// schedules that instant's point meetings (bandMeeting) and window
+// spans (bandContact), then re-arms at the cursor's next instant.
+// Expanded-schedule memory never exists; the pending set is the cursor
+// heap plus the live windows.
+func startPlanPump(engine *sim.Engine, net *Network, cur *trace.PlanCursor, horizon float64) {
+	pending, ok := cur.Next()
+	if !ok {
+		return
+	}
+	var pump func(e *sim.Engine)
+	pump = func(e *sim.Engine) {
+		t := pending.Start
+		for {
+			c := pending
+			if c.Windowed() {
+				end := c.EndWithin(horizon)
+				var w *winContact
+				engine.ScheduleBandFunc(c.Start, bandContact, func(e *sim.Engine) {
+					w = openWindow(net, c)
+				})
+				engine.ScheduleBandFunc(end, bandContact, func(e *sim.Engine) {
+					if w != nil {
+						closeWindow(net, w)
+					}
+				})
+			} else {
+				engine.ScheduleBandFunc(c.Start, bandMeeting, func(e *sim.Engine) {
+					RunSession(net, net.Node(c.A), net.Node(c.B), c.Bytes)
+				})
+			}
+			if pending, ok = cur.Next(); !ok {
+				return
+			}
+			if pending.Start != t {
+				engine.ScheduleBandFunc(pending.Start, bandPump, pump)
+				return
+			}
+		}
+	}
+	engine.ScheduleBandFunc(pending.Start, bandPump, pump)
 }

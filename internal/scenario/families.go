@@ -282,6 +282,31 @@ func init() {
 		},
 	})
 	Register(Family{
+		Name: "mega-constellation",
+		Doc:  "2,000+-node LEO shell run lazily off the periodic contact plan with a streaming ground-segment workload — the scale arm of the dense routing state, plan cursor and counter-based Poisson source",
+		Gen: func(p Params) []Scenario {
+			// RAPID-only by default: the point of the family is hot-path
+			// scale, not another protocol comparison.
+			if len(p.Protocols) == 0 {
+				p.Protocols = []Proto{ProtoRapid}
+			}
+			return grid(p, false, func(_, run int, load float64, proto Proto) Scenario {
+				ss := ConstellationSchedule(p)
+				ss.Lazy = true
+				w := constellationWorkload(load, p.Ground, p.OrbitPeriod)
+				w.Streaming = true
+				return Scenario{
+					Family: "mega-constellation", Tag: p.Tag,
+					Schedule: ss,
+					Workload: w,
+					Protocol: proto, Metric: NormalizeMetric(proto, core.AvgDelay),
+					Config: constellationOverrides(),
+					Run:    run,
+				}
+			})
+		},
+	})
+	Register(Family{
 		Name: "churn-powerlaw",
 		Doc:  "power-law mobility with node churn: nodes drop for exponential down intervals during which they neither forward nor receive — popularity-skewed relays keep vanishing under the protocols that lean on them",
 		Gen: func(p Params) []Scenario {

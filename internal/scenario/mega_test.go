@@ -1,0 +1,103 @@
+package scenario
+
+import (
+	"testing"
+
+	"rapid/internal/core"
+)
+
+// megaParams is a miniature mega-constellation grid: the family's lazy
+// plan + streaming workload wiring at unit-test scale.
+func megaParams() Params {
+	return Params{
+		Tag: "mega-test", Runs: 1, Loads: []float64{2},
+		Planes: 3, SatsPerPlane: 4, Ground: 3,
+		OrbitPeriod: 240, Duration: 240,
+	}
+}
+
+func TestMegaConstellationFamilyWiring(t *testing.T) {
+	scs, err := Expand("mega-constellation", megaParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) == 0 {
+		t.Fatal("family expanded to no scenarios")
+	}
+	for _, s := range scs {
+		if s.Protocol != ProtoRapid {
+			t.Errorf("default protocol arm is %v, want RAPID-only", s.Protocol)
+		}
+		if !s.Schedule.Lazy || !s.Workload.Streaming {
+			t.Fatalf("mega scenario is not lazy+streaming: %+v", s)
+		}
+		rs := s.Materialize()
+		if rs.Schedule != nil {
+			t.Error("lazy scenario materialized a schedule")
+		}
+		if rs.Plan == nil {
+			t.Fatal("lazy scenario carries no contact plan")
+		}
+		if rs.Source == nil {
+			t.Fatal("streaming scenario carries no packet source")
+		}
+		if rs.Workload != nil {
+			t.Error("streaming scenario also materialized a workload")
+		}
+		sum := s.Summary()
+		if sum.Generated == 0 {
+			t.Error("mega run generated no packets")
+		}
+		if sum.Delivered == 0 {
+			t.Error("mega run delivered nothing")
+		}
+	}
+}
+
+// TestLazySpecMatchesMaterialized pins the scenario-layer equivalence:
+// with the workload held identical (materialized, NodeCount-pinned),
+// flipping only ScheduleSpec.Lazy must not change the summary — the
+// plan cursor is a layout change, not a semantic one.
+func TestLazySpecMatchesMaterialized(t *testing.T) {
+	p := megaParams()
+	base := Scenario{
+		Family: "lazy-equiv", Tag: "lazy-equiv",
+		Schedule: ConstellationSchedule(p),
+		Workload: constellationWorkload(2, p.Ground, p.OrbitPeriod),
+		Protocol: ProtoRapid, Metric: NormalizeMetric(ProtoRapid, core.AvgDelay),
+		Config: constellationOverrides(),
+	}
+	base.Schedule.Duration = p.Duration
+
+	lazy := base
+	lazy.Schedule.Lazy = true
+
+	got, want := lazy.Summary(), base.Summary()
+	if got != want {
+		t.Errorf("lazy spec diverged from materialized spec:\n  materialized: %+v\n  lazy:         %+v", want, got)
+	}
+	if want.Generated == 0 || want.Delivered == 0 {
+		t.Fatalf("equivalence vacuous: baseline summary %+v", want)
+	}
+}
+
+// TestLazyFallsBackOutsideConstellation: Lazy on a spec that cannot run
+// as a pure plan (jitter, perturbation, non-constellation source) is
+// ignored rather than honored incorrectly.
+func TestLazyFallsBackToMaterialized(t *testing.T) {
+	p := megaParams()
+	ss := ConstellationSchedule(p)
+	ss.Duration = p.Duration
+	ss.Lazy = true
+	ss.ConstelJitter = 0.05
+	s := Scenario{
+		Family: "lazy-fallback", Tag: "lazy-fallback",
+		Schedule: ss,
+		Workload: constellationWorkload(2, p.Ground, p.OrbitPeriod),
+		Protocol: ProtoRapid, Metric: NormalizeMetric(ProtoRapid, core.AvgDelay),
+	}
+	rs := s.Materialize()
+	if rs.Schedule == nil || rs.Plan != nil {
+		t.Error("jittered constellation must materialize its schedule")
+	}
+}

@@ -111,6 +111,46 @@ type ScheduleSpec struct {
 	GroundRateBps float64
 	ISLWindow     float64
 	ISLRateBps    float64
+	// Lazy requests that the run consume the periodic contact plan
+	// directly through a streaming cursor (trace.PlanCursor) instead of
+	// materializing every occurrence up front — memory stays O(plan)
+	// rather than O(horizon), the property the mega-constellation family
+	// depends on. Only a jitter-free, unperturbed constellation is a pure
+	// plan; any other spec silently falls back to the materialized build.
+	Lazy bool
+	// MergeWindows coalesces back-to-back windowed plan occurrences
+	// (Window == Period) into single long windows when running lazily.
+	// Semantics-changing (one open per run instead of per pass), so
+	// opt-in.
+	MergeWindows bool
+}
+
+// lazyPlan reports whether the spec can (and asked to) run straight off
+// the contact plan: lazy expansion only exists for the deterministic
+// constellation source — jitter and perturbation are transformations of
+// the materialized schedule.
+func (ss ScheduleSpec) lazyPlan() bool {
+	return ss.Lazy && ss.Source == SourceConstellation &&
+		ss.ConstelJitter == 0 && !ss.Perturb
+}
+
+// BuildPlan returns the periodic contact plan of a constellation spec
+// without expanding it. Callers outside the lazy path (e.g. CGR's
+// plan-ahead router construction) may also use it.
+func (ss ScheduleSpec) BuildPlan() *trace.ContactPlan {
+	if ss.Source != SourceConstellation {
+		panic("scenario: BuildPlan requires SourceConstellation")
+	}
+	m := mobility.Constellation{Config: mobility.ConstellationConfig{
+		Planes: ss.Planes, SatsPerPlane: ss.SatsPerPlane,
+		GroundStations: ss.Ground,
+		OrbitPeriod:    ss.OrbitPeriod, Duration: ss.Duration,
+		ISLBytes: ss.ISLBytes, GroundBytes: ss.GroundBytes,
+		JitterFrac: ss.ConstelJitter,
+		PassWindow: ss.PassWindow, GroundRateBps: ss.GroundRateBps,
+		ISLWindow: ss.ISLWindow, ISLRateBps: ss.ISLRateBps,
+	}}
+	return m.Plan()
 }
 
 // Build materializes the schedule. DieselNet days are deterministic in
@@ -215,6 +255,14 @@ type WorkloadSpec struct {
 	// packets per window per destination aggregated over sources
 	// (DESIGN.md §7).
 	PerPair bool
+	// Streaming generates the workload lazily through a packet.Source
+	// instead of materializing the slice — memory O(endpoint pairs)
+	// rather than O(packets). Poisson-only; requires NodeCount > 0 (a
+	// streaming run may have no materialized schedule to take endpoints
+	// from). The counter-based stream draws a different (equally valid)
+	// arrival sequence than the materialized generator for the same seed,
+	// so a family picks one form and keeps it.
+	Streaming bool
 
 	// OnMean/OffMean are the mean burst/silence durations in seconds
 	// (ShapeOnOff). Load stays the long-run offered load: Build scales
@@ -236,26 +284,56 @@ const cohortIDBase = 1_000_000
 
 // Build materializes the workload over the given schedule using seed.
 func (ws WorkloadSpec) Build(sched *trace.Schedule, seed int64) packet.Workload {
-	nodes := sched.Nodes()
-	if ws.NodeCount > 0 {
-		nodes = make([]packet.NodeID, ws.NodeCount)
-		for i := range nodes {
-			nodes[i] = packet.NodeID(i)
-		}
+	return ws.buildOver(sched.Nodes(), sched.Duration, seed)
+}
+
+// endpoints resolves the workload's endpoint set: 0..NodeCount-1 when
+// declared, the fallback set (schedule or plan nodes) otherwise.
+func (ws WorkloadSpec) endpoints(fallback []packet.NodeID) []packet.NodeID {
+	if ws.NodeCount <= 0 {
+		return fallback
 	}
+	nodes := make([]packet.NodeID, ws.NodeCount)
+	for i := range nodes {
+		nodes[i] = packet.NodeID(i)
+	}
+	return nodes
+}
+
+// genConfig assembles the generator config over a resolved endpoint set
+// and horizon.
+func (ws WorkloadSpec) genConfig(nodes []packet.NodeID, duration float64) packet.GenConfig {
 	rate := ws.Load
 	if ws.PerPair && len(nodes) > 1 {
 		rate = ws.Load / float64(len(nodes)-1)
 	}
-	gc := packet.GenConfig{
+	return packet.GenConfig{
 		Nodes:                 nodes,
 		PacketsPerHourPerDest: rate,
 		LoadWindow:            ws.Window,
-		Duration:              sched.Duration,
+		Duration:              duration,
 		PacketSize:            ws.PacketBytes,
 		Deadline:              ws.Deadline,
 		FirstID:               1,
 	}
+}
+
+// BuildSource returns the streaming form of the workload. Poisson-only:
+// the lazy per-pair arrival streams have no on-off or cohort analogue.
+func (ws WorkloadSpec) BuildSource(duration float64, seed int64) packet.Source {
+	if ws.Shape != ShapePoisson {
+		panic(fmt.Sprintf("scenario: streaming workload requires ShapePoisson, got %v", ws.Shape))
+	}
+	if ws.NodeCount <= 0 {
+		panic("scenario: streaming workload requires NodeCount > 0")
+	}
+	gc := ws.genConfig(ws.endpoints(nil), duration)
+	return packet.NewPoissonSource(gc, uint64(seed))
+}
+
+func (ws WorkloadSpec) buildOver(fallback []packet.NodeID, duration float64, seed int64) packet.Workload {
+	nodes := ws.endpoints(fallback)
+	gc := ws.genConfig(nodes, duration)
 	switch ws.Shape {
 	case ShapePoisson:
 		return packet.Generate(gc, rand.New(rand.NewSource(seed)))
@@ -270,7 +348,7 @@ func (ws WorkloadSpec) Build(sched *trace.Schedule, seed int64) packet.Workload 
 		bg.Deadline = 0
 		w := packet.Generate(bg, rand.New(rand.NewSource(seed+99)))
 		cohorts := packet.GenerateParallel(nodes, ws.Cohorts, ws.Parallel,
-			sched.Duration/10, ws.PacketBytes,
+			duration/10, ws.PacketBytes,
 			rand.New(rand.NewSource(seed*17+int64(ws.Parallel))))
 		for i, cp := range cohorts {
 			cp.ID = packet.ID(cohortIDBase + i)
@@ -444,12 +522,24 @@ func (s Scenario) Disrupt() disrupt.Spec {
 // values) realize independent disruption streams.
 func (s Scenario) Materialize() routing.Scenario {
 	schedSeed, wSeed, simSeed := s.Seeds()
-	sched := s.Schedule.Build(schedSeed)
-	w := s.Workload.Build(sched, wSeed)
 	factory, cfg := Arm(s.Protocol, s.Metric, s.baseConfig())
 	s.Config.Apply(&cfg)
-	rs := routing.Scenario{
-		Schedule: sched, Workload: w, Factory: factory, Cfg: cfg, Seed: simSeed,
+	rs := routing.Scenario{Factory: factory, Cfg: cfg, Seed: simSeed}
+	var horizon float64
+	if s.Schedule.lazyPlan() {
+		rs.Plan = s.Schedule.BuildPlan()
+		rs.MergePlanWindows = s.Schedule.MergeWindows
+		horizon = rs.Plan.Duration
+	} else {
+		rs.Schedule = s.Schedule.Build(schedSeed)
+		horizon = rs.Schedule.Duration
+	}
+	if s.Workload.Streaming {
+		rs.Source = s.Workload.BuildSource(horizon, wSeed)
+	} else if rs.Schedule != nil {
+		rs.Workload = s.Workload.Build(rs.Schedule, wSeed)
+	} else {
+		rs.Workload = s.Workload.buildOver(rs.Plan.Nodes(), horizon, wSeed)
 	}
 	if d := s.Disrupt(); d.Enabled {
 		rs.Disrupt = d
@@ -462,7 +552,13 @@ func (s Scenario) Materialize() routing.Scenario {
 // collector and the run horizon.
 func (s Scenario) Execute() (*metrics.Collector, float64) {
 	rs := s.Materialize()
-	return routing.Run(rs), rs.Schedule.Duration
+	horizon := 0.0
+	if rs.Schedule != nil {
+		horizon = rs.Schedule.Duration
+	} else if rs.Plan != nil {
+		horizon = rs.Plan.Duration
+	}
+	return routing.Run(rs), horizon
 }
 
 // Summary runs the scenario and reduces it to the reported metrics.

@@ -31,19 +31,23 @@ func (f EventFunc) Execute(e *Engine) { f(e) }
 // item is a scheduled event inside the queue.
 type item struct {
 	at   float64
-	seq  uint64 // tiebreaker: FIFO among same-time events
+	band int32  // priority among same-time events; lower runs first
+	seq  uint64 // tiebreaker: FIFO among same-time, same-band events
 	ev   Event
 	idx  int
 	dead bool
 }
 
-// eventHeap implements heap.Interface ordered by (at, seq).
+// eventHeap implements heap.Interface ordered by (at, band, seq).
 type eventHeap []*item
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
+	}
+	if h[i].band != h[j].band {
+		return h[i].band < h[j].band
 	}
 	return h[i].seq < h[j].seq
 }
@@ -106,13 +110,27 @@ func (e *Engine) Now() float64 { return e.now }
 // Len returns the number of pending (possibly cancelled) events.
 func (e *Engine) Len() int { return len(e.queue) }
 
-// Schedule enqueues ev to run at time at. It panics if at precedes the
-// current clock (events cannot be scheduled in the past).
+// Schedule enqueues ev to run at time at in the default band 0. It
+// panics if at precedes the current clock (events cannot be scheduled
+// in the past).
 func (e *Engine) Schedule(at float64, ev Event) Handle {
+	return e.ScheduleBand(at, 0, ev)
+}
+
+// ScheduleBand enqueues ev to run at time at with an explicit
+// same-time priority band: among events at the same instant, lower
+// bands run first, and FIFO sequence breaks ties within a band. Bands
+// let lazily generated event streams (streaming workloads, contact-plan
+// cursors) reproduce the exact execution order of their fully
+// materialized upfront-scheduled equivalents, whose ordering at shared
+// instants is otherwise fixed by insertion sequence alone. All direct
+// Schedule calls use band 0, so the banded heap is byte-identical to
+// the historical (time, seq) ordering unless a caller opts in.
+func (e *Engine) ScheduleBand(at float64, band int32, ev Event) Handle {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
 	}
-	it := &item{at: at, seq: e.seq, ev: ev}
+	it := &item{at: at, band: band, seq: e.seq, ev: ev}
 	e.seq++
 	heap.Push(&e.queue, it)
 	return Handle{it: it}
@@ -121,6 +139,11 @@ func (e *Engine) Schedule(at float64, ev Event) Handle {
 // ScheduleFunc is shorthand for Schedule with an EventFunc.
 func (e *Engine) ScheduleFunc(at float64, f func(*Engine)) Handle {
 	return e.Schedule(at, EventFunc(f))
+}
+
+// ScheduleBandFunc is shorthand for ScheduleBand with an EventFunc.
+func (e *Engine) ScheduleBandFunc(at float64, band int32, f func(*Engine)) Handle {
+	return e.ScheduleBand(at, band, EventFunc(f))
 }
 
 // Span is a pair of scheduled events bracketing an interval — the

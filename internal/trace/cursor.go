@@ -1,0 +1,185 @@
+package trace
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"rapid/internal/packet"
+)
+
+// PlanCursor streams a contact plan's occurrences in exactly the order
+// a materialized Expand-and-Sort would list them, without ever holding
+// the expanded schedule: memory is O(len(plan.Contacts)), independent
+// of the horizon. Point occurrences (Window == 0, the entries Expand
+// puts in Schedule.Meetings) come out as zero-duration Contacts; the
+// consumer distinguishes them with Contact.Windowed.
+//
+// Yield order matches the runtime's scheduling order for a materialized
+// plan: globally nondecreasing in time; at equal times point
+// occurrences before windowed ones, each kind in its Schedule.Sort
+// order ((Time, A, B) for points, (Start, A, B, Duration) for windows).
+//
+// With merging enabled, back-to-back windowed occurrences of one plan
+// contact (Window == Period: a continuously available link modeled as
+// abutting passes) coalesce into a single window spanning the whole
+// run of occurrences — the run-length form of the schedule. Merging
+// changes runtime semantics (one window open instead of one per pass),
+// so it is opt-in.
+type PlanCursor struct {
+	plan    *ContactPlan
+	horizon float64
+	merge   bool
+	h       occHeap
+}
+
+// occ is one periodic contact's next pending occurrence.
+type occ struct {
+	t float64 // occurrence start: Start + i·Period
+	c int     // index into plan.Contacts
+	i int64   // occurrence counter
+}
+
+type occHeap struct {
+	items []occ
+	plan  *ContactPlan
+}
+
+func (h *occHeap) Len() int { return len(h.items) }
+
+// Less orders occurrences (time, windowed?, A, B, Duration, contact
+// index) — the global interleave of Schedule.Sort's two lists with
+// points first at shared instants.
+func (h *occHeap) Less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	ca, cb := h.plan.Contacts[a.c], h.plan.Contacts[b.c]
+	aw, bw := ca.Window > 0, cb.Window > 0
+	if aw != bw {
+		return !aw // points (meetings) schedule before windows
+	}
+	if ca.A != cb.A {
+		return ca.A < cb.A
+	}
+	if ca.B != cb.B {
+		return ca.B < cb.B
+	}
+	if aw && ca.Window != cb.Window {
+		return ca.Window < cb.Window
+	}
+	return a.c < b.c
+}
+
+func (h *occHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *occHeap) Push(x any)    { h.items = append(h.items, x.(occ)) }
+func (h *occHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+// Cursor returns a streaming iterator over the plan's occurrences.
+// mergeAbutting enables back-to-back window coalescing (see PlanCursor).
+func (cp *ContactPlan) Cursor(mergeAbutting bool) *PlanCursor {
+	pc := &PlanCursor{plan: cp, horizon: cp.Duration, merge: mergeAbutting}
+	pc.h.plan = cp
+	if math.IsNaN(cp.Duration) || math.IsInf(cp.Duration, 0) {
+		return pc // unvalidated plan degrades to empty, as Expand does
+	}
+	for ci, c := range cp.Contacts {
+		if math.IsNaN(c.Start) || math.IsInf(c.Start, 0) ||
+			math.IsNaN(c.Period) || math.IsInf(c.Period, 0) {
+			continue // Validate rejects these; mirror Expand's skip
+		}
+		if c.Start < cp.Duration {
+			pc.h.items = append(pc.h.items, occ{t: c.Start, c: ci})
+		}
+	}
+	heap.Init(&pc.h)
+	return pc
+}
+
+// Next returns the next occurrence in global schedule order; ok is
+// false when the plan is exhausted within the horizon. Windowed
+// occurrences are clipped to the horizon exactly as Expand clips them.
+func (pc *PlanCursor) Next() (Contact, bool) {
+	for pc.h.Len() > 0 {
+		o := heap.Pop(&pc.h).(occ)
+		c := pc.plan.Contacts[o.c]
+		out := Contact{A: c.A, B: c.B, Start: o.t}
+		if c.Window > 0 {
+			w := c.Window
+			if o.t+w > pc.horizon {
+				w = pc.horizon - o.t
+			}
+			if w <= 0 {
+				pc.advance(o, c)
+				continue
+			}
+			out.Duration = w
+			out.RateBps = c.RateBps
+			if pc.merge && c.Period > 0 && c.Window == c.Period {
+				// Occurrences abut exactly: coalesce the remaining run
+				// into one window reaching the horizon (or the
+				// occurrence cap) — this contact is then exhausted.
+				last := o.i
+				for last < MaxOccurrences {
+					nt := c.Start + float64(last+1)*c.Period
+					if nt >= pc.horizon {
+						break
+					}
+					last++
+				}
+				end := c.Start + float64(last)*c.Period + c.Window
+				if end > pc.horizon {
+					end = pc.horizon
+				}
+				out.Duration = end - o.t
+				return out, true
+			}
+		} else {
+			out.Bytes = c.Bytes
+		}
+		pc.advance(o, c)
+		return out, true
+	}
+	return Contact{}, false
+}
+
+// advance pushes the contact's following occurrence, if any remains
+// within the horizon and the MaxOccurrences cap Expand enforces.
+func (pc *PlanCursor) advance(o occ, c PeriodicContact) {
+	if c.Period <= 0 {
+		return // one-shot
+	}
+	i := o.i + 1
+	if i > MaxOccurrences {
+		return
+	}
+	t := c.Start + float64(i)*c.Period
+	if t >= pc.horizon {
+		return
+	}
+	heap.Push(&pc.h, occ{t: t, c: o.c, i: i})
+}
+
+// Nodes returns the sorted set of node IDs the plan's contacts touch —
+// the participant set of a run driven directly off the plan, computed
+// without expanding occurrences.
+func (cp *ContactPlan) Nodes() []packet.NodeID {
+	seen := map[packet.NodeID]bool{}
+	for _, c := range cp.Contacts {
+		seen[c.A] = true
+		seen[c.B] = true
+	}
+	out := make([]packet.NodeID, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

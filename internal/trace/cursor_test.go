@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+
+	"rapid/internal/packet"
+)
+
+// expandInterleaved flattens the plan through Expand and merges the
+// sorted meeting and contact lists into the single global order the
+// runtime consumes (points before windows at shared instants) — the
+// reference sequence the streaming cursor must reproduce exactly.
+func expandInterleaved(cp *ContactPlan) []Contact {
+	s := cp.Expand()
+	out := make([]Contact, 0, len(s.Meetings)+len(s.Contacts))
+	i, j := 0, 0
+	for i < len(s.Meetings) || j < len(s.Contacts) {
+		takeMeeting := j >= len(s.Contacts) ||
+			(i < len(s.Meetings) && s.Meetings[i].Time <= s.Contacts[j].Start)
+		if takeMeeting {
+			m := s.Meetings[i]
+			i++
+			out = append(out, Contact{A: m.A, B: m.B, Start: m.Time, Bytes: m.Bytes})
+		} else {
+			out = append(out, s.Contacts[j])
+			j++
+		}
+	}
+	return out
+}
+
+// drainCursor collects the cursor's full sequence.
+func drainCursor(cp *ContactPlan, merge bool) []Contact {
+	cur := cp.Cursor(merge)
+	var out []Contact
+	for {
+		c, ok := cur.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, c)
+	}
+}
+
+// checkEquivalent asserts cursor order and content match the
+// materialized reference element for element.
+func checkEquivalent(t *testing.T, cp *ContactPlan) {
+	t.Helper()
+	want := expandInterleaved(cp)
+	got := drainCursor(cp, false)
+	if len(got) != len(want) {
+		t.Fatalf("cursor yielded %d occurrences, Expand %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("occurrence %d: cursor %+v != expand %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCursorMatchesExpandPoints(t *testing.T) {
+	cp := &ContactPlan{Duration: 500}
+	cp.Add(0, 1, 10, 60, 1<<10)
+	cp.Add(1, 2, 10, 60, 2<<10) // phase collision with the first
+	cp.Add(0, 2, 35, 0, 4<<10)  // one-shot
+	cp.Add(2, 3, 5, 100, 1<<10)
+	checkEquivalent(t, cp)
+}
+
+func TestCursorMatchesExpandWindows(t *testing.T) {
+	cp := &ContactPlan{Duration: 400}
+	cp.AddWindow(0, 1, 20, 100, 30, 8<<10)
+	cp.AddWindow(1, 2, 20, 100, 30, 4<<10)  // same instants, different pair
+	cp.AddWindow(0, 2, 350, 100, 80, 2<<10) // clipped at the horizon
+	cp.Add(2, 3, 20, 100, 1<<10)            // point at the windows' instant
+	if err := cp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	checkEquivalent(t, cp)
+}
+
+func TestCursorHorizonExclusive(t *testing.T) {
+	// An occurrence landing exactly on the horizon is excluded, matching
+	// Expand's half-open interval.
+	cp := &ContactPlan{Duration: 100}
+	cp.Add(0, 1, 0, 50, 1<<10) // occurrences at 0, 50; 100 excluded
+	got := drainCursor(cp, false)
+	if len(got) != 2 {
+		t.Fatalf("got %d occurrences, want 2 (horizon is exclusive)", len(got))
+	}
+	checkEquivalent(t, cp)
+}
+
+func TestCursorMatchesExpandRandomized(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		cp := &ContactPlan{Duration: 200 + r.Float64()*800}
+		n := 1 + r.Intn(12)
+		for k := 0; k < n; k++ {
+			a := packet.NodeID(r.Intn(6))
+			b := packet.NodeID(r.Intn(6))
+			if a == b {
+				b = (b + 1) % 6
+			}
+			start := r.Float64() * cp.Duration
+			period := 0.0
+			if r.Float64() < 0.8 {
+				period = 5 + r.Float64()*100
+			}
+			if period > 0 && r.Float64() < 0.5 {
+				cp.AddWindow(a, b, start, period, r.Float64()*period, 1+r.Float64()*1e4)
+			} else {
+				cp.Add(a, b, start, period, int64(r.Intn(1<<16)))
+			}
+		}
+		checkEquivalent(t, cp)
+	}
+}
+
+func TestCursorMergeAbutting(t *testing.T) {
+	// Window == Period: occurrences abut exactly, so the merged cursor
+	// coalesces the whole run into one window spanning the horizon.
+	cp := &ContactPlan{Duration: 500}
+	cp.AddWindow(0, 1, 0, 50, 50, 1000)
+	got := drainCursor(cp, true)
+	if len(got) != 1 {
+		t.Fatalf("merged cursor yielded %d windows, want 1", len(got))
+	}
+	w := got[0]
+	if w.Start != 0 || w.Duration != 500 || w.RateBps != 1000 {
+		t.Fatalf("merged window %+v, want [0, 500) at 1000 B/s", w)
+	}
+	// Capacity is conserved: the merged window carries exactly the sum
+	// of the occurrences it replaced.
+	var sum float64
+	for _, c := range drainCursor(cp, false) {
+		sum += c.Duration * c.RateBps
+	}
+	if merged := w.Duration * w.RateBps; merged != sum {
+		t.Errorf("merged capacity %v != summed occurrence capacity %v", merged, sum)
+	}
+}
+
+func TestCursorMergeLeavesGappedWindowsAlone(t *testing.T) {
+	// Window < Period: occurrences do not abut, so merging must not
+	// change the sequence at all.
+	cp := &ContactPlan{Duration: 300}
+	cp.AddWindow(0, 1, 10, 60, 20, 500)
+	cp.Add(1, 2, 0, 40, 1<<10)
+	plain, merged := drainCursor(cp, false), drainCursor(cp, true)
+	if len(plain) != len(merged) {
+		t.Fatalf("merge changed occurrence count: %d != %d", len(merged), len(plain))
+	}
+	for i := range plain {
+		if plain[i] != merged[i] {
+			t.Fatalf("occurrence %d: merged %+v != plain %+v", i, merged[i], plain[i])
+		}
+	}
+}
+
+func TestCursorNodes(t *testing.T) {
+	cp := &ContactPlan{Duration: 100}
+	cp.Add(3, 1, 0, 0, 1)
+	cp.AddWindow(2, 5, 10, 0, 5, 100)
+	got := cp.Nodes()
+	want := []packet.NodeID{1, 2, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("Nodes() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Nodes() = %v, want %v", got, want)
+		}
+	}
+}
