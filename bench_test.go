@@ -389,6 +389,12 @@ func megaGrid(tag string) []scenario.Scenario {
 	if err != nil {
 		panic(err)
 	}
+	// The mega run measures the intra-run parallel engine at full
+	// hardware width (one worker per CPU; single-core machines degrade
+	// gracefully to the serial loop, byte-identically).
+	for i := range scs {
+		scs[i].Config.Workers = -1
+	}
 	return scs
 }
 

@@ -9,6 +9,17 @@
 //
 // Unrecognized lines (test chatter, PASS/ok footers) are skipped, so
 // the full `go test` stream can be piped in unfiltered.
+//
+// With -compare, the fresh results are additionally diffed against a
+// committed baseline report and a markdown delta table is printed —
+// the CI regression gate:
+//
+//	... | go run ./cmd/benchjson -out new.json -compare BENCH_old.json -tolerance 0.15 -gate BenchmarkConstellation
+//
+// The process exits 1 when any gate benchmark regressed by more than
+// the tolerance fraction in s/op. Names are matched with their
+// -GOMAXPROCS suffix stripped, so reports from machines with different
+// core counts compare.
 package main
 
 import (
@@ -16,6 +27,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
@@ -47,6 +59,9 @@ type Report struct {
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
 	note := flag.String("note", "", "free-text annotation stored in the report")
+	compare := flag.String("compare", "", "baseline BENCH_*.json to diff the fresh results against")
+	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional s/op regression for gate benchmarks before exiting 1")
+	gate := flag.String("gate", "BenchmarkConstellation", "comma-separated benchmark names (suffix-stripped) the tolerance gate applies to")
 	flag.Parse()
 
 	rep := Report{
@@ -79,14 +94,114 @@ func main() {
 		os.Exit(1)
 	}
 	enc = append(enc, '\n')
-	if *out == "" {
+	switch {
+	case *out == "" && *compare == "":
 		os.Stdout.Write(enc)
+	case *out != "":
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+	if *compare == "" {
 		return
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	base, err := readReport(*compare)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	if !compareReports(os.Stdout, base, rep, *compare, gateSet(*gate), *tolerance) {
+		os.Exit(1)
+	}
+}
+
+// readReport loads a committed BENCH_*.json baseline.
+func readReport(path string) (Report, error) {
+	var rep Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	err = json.Unmarshal(data, &rep)
+	return rep, err
+}
+
+// gateSet parses the -gate list into a set of suffix-stripped names.
+func gateSet(list string) map[string]bool {
+	set := map[string]bool{}
+	for _, name := range strings.Split(list, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			set[trimProcSuffix(name)] = true
+		}
+	}
+	return set
+}
+
+// trimProcSuffix strips the -GOMAXPROCS suffix Go appends to benchmark
+// names on multi-core machines, so BenchmarkConstellation-8 and
+// BenchmarkConstellation name the same benchmark.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// compareReports prints a markdown delta table of fresh vs baseline and
+// reports whether every gate benchmark stayed within the tolerance.
+// Benchmarks present on only one side are listed but never gate.
+func compareReports(w io.Writer, base, fresh Report, basePath string, gates map[string]bool, tolerance float64) bool {
+	baseBy := map[string]Benchmark{}
+	for _, b := range base.Benchmarks {
+		baseBy[trimProcSuffix(b.Name)] = b
+	}
+	fmt.Fprintf(w, "### Benchmark delta vs `%s` (%s)\n\n", basePath, base.Date)
+	fmt.Fprintf(w, "| benchmark | baseline s/op | current s/op | delta | gate (±%.0f%%) |\n", tolerance*100)
+	fmt.Fprintf(w, "|---|---|---|---|---|\n")
+	pass := true
+	seen := map[string]bool{}
+	for _, b := range fresh.Benchmarks {
+		name := trimProcSuffix(b.Name)
+		seen[name] = true
+		old, ok := baseBy[name]
+		if !ok || old.NsPerOp == 0 || b.NsPerOp == 0 {
+			fmt.Fprintf(w, "| %s | — | %.3f | new | — |\n", name, b.NsPerOp/1e9)
+			continue
+		}
+		delta := b.NsPerOp/old.NsPerOp - 1
+		verdict := "—"
+		if gates[name] {
+			if delta > tolerance {
+				verdict = "FAIL"
+				pass = false
+			} else {
+				verdict = "ok"
+			}
+		}
+		fmt.Fprintf(w, "| %s | %.3f | %.3f | %+.1f%% | %s |\n",
+			name, old.NsPerOp/1e9, b.NsPerOp/1e9, delta*100, verdict)
+	}
+	// Baseline benchmarks absent from the fresh run are dropped
+	// silently (partial runs are normal) — unless gated: deleting a
+	// gated benchmark must not evade the gate.
+	for _, b := range base.Benchmarks {
+		if name := trimProcSuffix(b.Name); !seen[name] && gates[name] {
+			fmt.Fprintf(w, "| %s | %.3f | — | missing | FAIL |\n", name, b.NsPerOp/1e9)
+			pass = false
+		}
+	}
+	fmt.Fprintln(w)
+	if pass {
+		fmt.Fprintln(w, "benchmark gate: PASS")
+	} else {
+		fmt.Fprintf(w, "benchmark gate: FAIL — a gated benchmark regressed more than %.0f%% in s/op\n", tolerance*100)
+	}
+	return pass
 }
 
 // parseBenchLine parses one `BenchmarkName-N  iters  v unit  v unit ...`

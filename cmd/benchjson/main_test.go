@@ -1,0 +1,118 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTrimProcSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkConstellation-8":    "BenchmarkConstellation",
+		"BenchmarkConstellation":      "BenchmarkConstellation",
+		"BenchmarkSweep/workers-1-16": "BenchmarkSweep/workers-1",
+		"BenchmarkFoo-bar":            "BenchmarkFoo-bar", // non-numeric tail kept
+	}
+	for in, want := range cases {
+		if got := trimProcSuffix(in); got != want {
+			t.Errorf("trimProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func report(nsPerOp map[string]float64) Report {
+	r := Report{Date: "2026-01-01"}
+	for name, ns := range nsPerOp {
+		r.Benchmarks = append(r.Benchmarks, Benchmark{Name: name, Iterations: 1, NsPerOp: ns})
+	}
+	return r
+}
+
+func TestCompareWithinTolerancePasses(t *testing.T) {
+	base := report(map[string]float64{"BenchmarkConstellation": 1.0e9})
+	fresh := report(map[string]float64{"BenchmarkConstellation-8": 1.10e9}) // +10%
+	var sb strings.Builder
+	if !compareReports(&sb, base, fresh, "base.json", gateSet("BenchmarkConstellation"), 0.15) {
+		t.Fatalf("10%% regression under a 15%% gate failed:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "| ok |") {
+		t.Errorf("gate verdict missing from table:\n%s", sb.String())
+	}
+}
+
+func TestCompareRegressionFails(t *testing.T) {
+	base := report(map[string]float64{
+		"BenchmarkConstellation":     1.0e9,
+		"BenchmarkMegaConstellation": 500e9,
+	})
+	fresh := report(map[string]float64{
+		"BenchmarkConstellation":     1.20e9, // +20% > 15%
+		"BenchmarkMegaConstellation": 900e9,  // worse, but not gated
+	})
+	var sb strings.Builder
+	if compareReports(&sb, base, fresh, "base.json", gateSet("BenchmarkConstellation"), 0.15) {
+		t.Fatalf("20%% regression passed a 15%% gate:\n%s", sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "FAIL") {
+		t.Errorf("failure verdict missing:\n%s", out)
+	}
+	// The ungated mega benchmark must be reported but not gate.
+	if !strings.Contains(out, "BenchmarkMegaConstellation | 500.000 | 900.000") {
+		t.Errorf("ungated benchmark row missing:\n%s", out)
+	}
+}
+
+func TestCompareImprovementPasses(t *testing.T) {
+	base := report(map[string]float64{"BenchmarkConstellation": 1.0e9})
+	fresh := report(map[string]float64{"BenchmarkConstellation": 0.5e9})
+	var sb strings.Builder
+	if !compareReports(&sb, base, fresh, "base.json", gateSet("BenchmarkConstellation"), 0.15) {
+		t.Fatalf("an improvement failed the gate:\n%s", sb.String())
+	}
+}
+
+func TestCompareNewAndMissingRows(t *testing.T) {
+	base := report(map[string]float64{"BenchmarkOld": 1.0e9})
+	fresh := report(map[string]float64{"BenchmarkNew": 2.0e9})
+	var sb strings.Builder
+	if !compareReports(&sb, base, fresh, "base.json", gateSet("BenchmarkConstellation"), 0.15) {
+		t.Fatal("disjoint ungated benchmark sets must not fail the gate")
+	}
+	out := sb.String()
+	if !strings.Contains(out, "new") {
+		t.Errorf("new-benchmark row missing:\n%s", out)
+	}
+	if strings.Contains(out, "BenchmarkOld") {
+		t.Errorf("ungated baseline-only benchmark should be dropped:\n%s", out)
+	}
+}
+
+// A gated benchmark deleted from the fresh run must fail the gate —
+// otherwise removing the benchmark evades it.
+func TestCompareMissingGateFails(t *testing.T) {
+	base := report(map[string]float64{"BenchmarkConstellation": 1.0e9})
+	fresh := report(map[string]float64{"BenchmarkNew": 2.0e9})
+	var sb strings.Builder
+	if compareReports(&sb, base, fresh, "base.json", gateSet("BenchmarkConstellation"), 0.15) {
+		t.Fatalf("missing gated benchmark passed:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "missing | FAIL") {
+		t.Errorf("missing-gate row absent:\n%s", sb.String())
+	}
+}
+
+func TestParseBenchLine(t *testing.T) {
+	b, ok := parseBenchLine("BenchmarkConstellation-8   \t3\t1310000000 ns/op\t  123456 B/op\t 789 allocs/op")
+	if !ok {
+		t.Fatal("valid bench line rejected")
+	}
+	if b.Name != "BenchmarkConstellation-8" || b.Iterations != 3 || b.NsPerOp != 1.31e9 {
+		t.Errorf("parsed %+v", b)
+	}
+	if b.Metrics["B/op"] != 123456 || b.Metrics["allocs/op"] != 789 {
+		t.Errorf("metrics %+v", b.Metrics)
+	}
+	if _, ok := parseBenchLine("ok  \trapid\t12.3s"); ok {
+		t.Error("footer line parsed as benchmark")
+	}
+}

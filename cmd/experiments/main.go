@@ -41,6 +41,7 @@ func main() {
 		family   = flag.String("family", "", "run a registered scenario family sweep")
 		reps     = flag.Int("reps", 0, "replications per family grid point (overrides the scale's run count; R>=2 adds mean ± 95% CI figures)")
 		workers  = flag.Int("workers", 0, "engine worker-pool size (0 = GOMAXPROCS)")
+		runWork  = flag.Int("run-workers", 0, "intra-run event-engine workers (0/1 = serial, -1 = GOMAXPROCS); output is byte-identical at any setting")
 		plotW    = flag.Int("plot-width", 72, "ASCII plot width")
 		plotH    = flag.Int("plot-height", 20, "ASCII plot height")
 		quiet    = flag.Bool("q", false, "suppress ASCII plots on stdout")
@@ -91,6 +92,7 @@ func main() {
 	}
 
 	exp.SetWorkers(*workers)
+	exp.SetRunWorkers(*runWork)
 
 	var sc exp.Scale
 	switch *scale {

@@ -64,6 +64,11 @@ func New(metric Metric) routing.RouterFactory {
 // Name implements routing.Router.
 func (r *Router) Name() string { return "rapid/" + r.metric.String() }
 
+// SessionConfined implements routing.SessionConfined: the scratch
+// slices, delay caches and version counters are all per-node, and the
+// only run-wide state touched is the immutable config and horizon.
+func (r *Router) SessionConfined() {}
+
 // Metric returns the routing objective this router optimizes.
 func (r *Router) Metric() Metric { return r.metric }
 

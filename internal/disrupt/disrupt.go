@@ -201,6 +201,13 @@ func (m *Model) Lost(seq uint64, id packet.ID) bool {
 	return m.draw(tagLoss, seq, uint64(id)) < m.spec.PLoss
 }
 
+// HasLoss reports whether the model can ever lose a transfer. When
+// false, callers may skip the shared transfer-sequence bookkeeping that
+// feeds Lost — the counter is unobservable at zero loss — which is what
+// lets loss-free disrupted runs (churn, jitter, contact failure) use
+// the parallel engine.
+func (m *Model) HasLoss() bool { return m.spec.PLoss > 0 }
+
 // Interval is one half-open [Start, End) span of simulated time.
 type Interval struct {
 	Start, End float64

@@ -64,6 +64,13 @@ var defaultEngine = NewEngine(0, 0)
 // GOMAXPROCS) and clears its cache.
 func SetWorkers(n int) { defaultEngine = NewEngine(n, 0) }
 
+// SetRunWorkers sets the intra-run engine worker default every scenario
+// runs with (scenario.SetDefaultRunWorkers; the cmd/experiments
+// -run-workers flag). Orthogonal to SetWorkers: that pool runs whole
+// scenarios concurrently, this one parallelizes inside a single run —
+// useful when one huge run (mega-constellation) dominates the sweep.
+func SetRunWorkers(n int) { scenario.SetDefaultRunWorkers(n) }
+
 // DefaultEngine returns the engine the figures run on.
 func DefaultEngine() *Engine { return defaultEngine }
 

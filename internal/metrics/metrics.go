@@ -28,13 +28,11 @@ type PairKey struct {
 	Src, Dst packet.NodeID
 }
 
-// Collector accumulates simulation outcomes. The zero value is unusable;
-// construct with New. Not safe for concurrent use.
-type Collector struct {
-	byID  map[packet.ID]*Record
-	order []*Record // insertion order for deterministic iteration
-
-	// Channel accounting.
+// Delta is the channel-accounting portion of a Collector. Sessions of
+// the parallel engine accumulate into a private Delta during the
+// concurrent phase and fold it into the collector at commit, keeping
+// global counters in exact serial order.
+type Delta struct {
 	Meetings         int
 	OpportunityBytes int64 // total contact capacity offered
 	DataBytes        int64 // payload bytes transferred (incl. duplicates)
@@ -45,6 +43,28 @@ type Collector struct {
 	// flight: their bytes are spent (inside DataBytes' complement of
 	// the opportunity) but no data moved.
 	LostTransfers int
+}
+
+// Add folds o into d.
+func (d *Delta) Add(o *Delta) {
+	d.Meetings += o.Meetings
+	d.OpportunityBytes += o.OpportunityBytes
+	d.DataBytes += o.DataBytes
+	d.MetaBytes += o.MetaBytes
+	d.Replications += o.Replications
+	d.DirectDeliveries += o.DirectDeliveries
+	d.LostTransfers += o.LostTransfers
+}
+
+// Collector accumulates simulation outcomes. The zero value is unusable;
+// construct with New. Not safe for concurrent use.
+type Collector struct {
+	byID  map[packet.ID]*Record
+	order []*Record // insertion order for deterministic iteration
+
+	// Delta holds the channel accounting; embedding promotes the
+	// counter fields (c.Meetings etc.) unchanged.
+	Delta
 }
 
 // New returns an empty collector.
@@ -248,11 +268,5 @@ func (c *Collector) Merge(o *Collector) {
 		c.byID[r.P.ID] = r
 		c.order = append(c.order, r)
 	}
-	c.Meetings += o.Meetings
-	c.OpportunityBytes += o.OpportunityBytes
-	c.DataBytes += o.DataBytes
-	c.MetaBytes += o.MetaBytes
-	c.Replications += o.Replications
-	c.DirectDeliveries += o.DirectDeliveries
-	c.LostTransfers += o.LostTransfers
+	c.Delta.Add(&o.Delta)
 }

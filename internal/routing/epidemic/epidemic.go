@@ -28,6 +28,10 @@ func New() routing.RouterFactory {
 // Name implements routing.Router.
 func (r *Router) Name() string { return "epidemic" }
 
+// SessionConfined implements routing.SessionConfined: the router holds
+// no state beyond its node's buffer.
+func (r *Router) SessionConfined() {}
+
 // Attach implements routing.Router.
 func (r *Router) Attach(n *routing.Node) { r.node = n }
 

@@ -51,6 +51,10 @@ func New() routing.RouterFactory {
 // Name implements routing.Router.
 func (r *Router) Name() string { return "maxprop" }
 
+// SessionConfined implements routing.SessionConfined: gossip copies
+// every received vector, so all mutable state is per-node.
+func (r *Router) SessionConfined() {}
+
 // Attach implements routing.Router.
 func (r *Router) Attach(n *routing.Node) {
 	r.node = n

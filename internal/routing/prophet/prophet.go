@@ -56,6 +56,10 @@ func New(par Params) routing.RouterFactory {
 // Name implements routing.Router.
 func (r *Router) Name() string { return "prophet" }
 
+// SessionConfined implements routing.SessionConfined: delivery
+// predictabilities are per-node maps, updated only for the session peer.
+func (r *Router) SessionConfined() {}
+
 // Attach implements routing.Router.
 func (r *Router) Attach(n *routing.Node) { r.node = n }
 

@@ -83,6 +83,14 @@ type Config struct {
 	// DefaultTransferBytes seeds B (expected opportunity size) before
 	// any transfer has been observed.
 	DefaultTransferBytes float64
+	// Workers selects the event engine's worker count: 0 or 1 run the
+	// historical serial loop, n > 1 spread independent same-batch
+	// contact sessions across n goroutines, negative uses one worker
+	// per available CPU. Output is byte-identical at every setting;
+	// runs the parallel engine cannot prove independent for (global
+	// control channel, Bernoulli loss, conformance hooks, routers not
+	// marked SessionConfined) silently fall back to serial.
+	Workers int
 }
 
 // CapacityFor resolves one node's storage capacity in bytes
@@ -142,7 +150,11 @@ type Network struct {
 // bytes are already spent when this is consulted — the radio sent
 // them — so a lost transfer burns opportunity without moving data.
 func (n *Network) transferLost(id packet.ID, from, to packet.NodeID, now float64) bool {
-	if n.disrupt == nil {
+	// The HasLoss guard is not just a fast path: at zero loss the
+	// transfer counter is unobservable, so skipping it keeps loss-free
+	// disrupted runs (churn, jitter, contact failure) free of shared
+	// session state — which is what lets them use the parallel engine.
+	if n.disrupt == nil || !n.disrupt.HasLoss() {
 		return false
 	}
 	n.lossSeq++
@@ -419,8 +431,17 @@ func Run(sc Scenario) *metrics.Collector {
 		pr.PrimeSchedule(sched, net)
 	}
 
+	// Parallel engine: sessions and creations become shard events the
+	// engine may batch and execute across a pool, committing in serial
+	// order — byte-identical output, decided once per run.
+	par := false
+	if workers := resolveWorkers(sc.Cfg.Workers); workers > 1 && parallelEligible(sc, net, ids) {
+		par = true
+		engine.SetWorkers(workers)
+	}
+
 	if sc.Source != nil {
-		startSourcePump(engine, net, sc.Source)
+		startSourcePump(engine, net, sc.Source, par)
 	} else {
 		// A lazy plan-driven run carries creations in bandWorkload so the
 		// materialized creations-before-contacts order holds at shared
@@ -432,6 +453,10 @@ func Run(sc Scenario) *metrics.Collector {
 		}
 		for _, p := range sc.Workload {
 			p := p
+			if par {
+				engine.ScheduleBand(p.Created, wband, &generateEvent{net: net, p: p})
+				continue
+			}
 			engine.ScheduleBandFunc(p.Created, wband, func(e *sim.Engine) {
 				net.Collector.Generated(p)
 				src := net.Node(p.Src)
@@ -443,7 +468,7 @@ func Run(sc Scenario) *metrics.Collector {
 		// Streaming plan-driven run: a pump walks the compressed cursor
 		// and schedules each occurrence just in time, in the banded
 		// order matching the materialized path.
-		startPlanPump(engine, net, sc.Plan.Cursor(sc.MergePlanWindows), horizon)
+		startPlanPump(engine, net, sc.Plan.Cursor(sc.MergePlanWindows), horizon, par)
 		engine.RunUntil(horizon)
 		return net.Collector
 	}
@@ -465,6 +490,13 @@ func Run(sc Scenario) *metrics.Collector {
 				continue
 			}
 		}
+		if par {
+			engine.Schedule(m.Time, &sessionEvent{
+				net: net, a: net.Node(m.A), b: net.Node(m.B),
+				bytes: m.Bytes, at: m.Time,
+			})
+			continue
+		}
 		engine.ScheduleFunc(m.Time, func(e *sim.Engine) {
 			RunSession(net, net.Node(m.A), net.Node(m.B), m.Bytes)
 		})
@@ -485,6 +517,13 @@ func Run(sc Scenario) *metrics.Collector {
 		if !c.Windowed() {
 			// Zero-duration contacts degrade to point meetings: the
 			// instantaneous session, byte for byte.
+			if par {
+				engine.Schedule(c.Start, &sessionEvent{
+					net: net, a: net.Node(c.A), b: net.Node(c.B),
+					bytes: c.Bytes, at: c.Start,
+				})
+				continue
+			}
 			engine.ScheduleFunc(c.Start, func(e *sim.Engine) {
 				RunSession(net, net.Node(c.A), net.Node(c.B), c.Bytes)
 			})
@@ -578,28 +617,45 @@ func participantIDs(sc Scenario) []packet.NodeID {
 // packets (in source order) and re-arms at the next instant. Creations
 // run in bandWorkload, preserving the materialized path's
 // creations-before-contacts order at shared instants.
-func startSourcePump(engine *sim.Engine, net *Network, src packet.Source) {
+//
+// In a parallel run the pump itself is inline (it only advances the
+// private source cursor and schedules) and each creation becomes a
+// shard event at the same instant and band: the creations pop right
+// after the pump, before any meeting, in source order — the exact
+// serial sequence — while staying batchable with neighboring sessions.
+func startSourcePump(engine *sim.Engine, net *Network, src packet.Source, par bool) {
 	pending, ok := src.Next()
 	if !ok {
 		return
 	}
 	var pump func(e *sim.Engine)
+	arm := func(at float64) {
+		if par {
+			engine.ScheduleBand(at, bandWorkload, sim.InlineFunc(pump))
+			return
+		}
+		engine.ScheduleBandFunc(at, bandWorkload, pump)
+	}
 	pump = func(e *sim.Engine) {
 		t := pending.Created
 		for {
 			p := pending
-			net.Collector.Generated(p)
-			net.Node(p.Src).Router.Generate(p, e.Now())
+			if par {
+				engine.ScheduleBand(p.Created, bandWorkload, &generateEvent{net: net, p: p})
+			} else {
+				net.Collector.Generated(p)
+				net.Node(p.Src).Router.Generate(p, e.Now())
+			}
 			if pending, ok = src.Next(); !ok {
 				return
 			}
 			if pending.Created != t {
-				engine.ScheduleBandFunc(pending.Created, bandWorkload, pump)
+				arm(pending.Created)
 				return
 			}
 		}
 	}
-	engine.ScheduleBandFunc(pending.Created, bandWorkload, pump)
+	arm(pending.Created)
 }
 
 // startPlanPump schedules contact-plan occurrences on demand from the
@@ -608,12 +664,22 @@ func startSourcePump(engine *sim.Engine, net *Network, src packet.Source) {
 // spans (bandContact), then re-arms at the cursor's next instant.
 // Expanded-schedule memory never exists; the pending set is the cursor
 // heap plus the live windows.
-func startPlanPump(engine *sim.Engine, net *Network, cur *trace.PlanCursor, horizon float64) {
+// In a parallel run the pump is inline and point meetings become shard
+// events; window spans keep plain events (they are flush barriers — a
+// window's open/close must see every earlier session applied).
+func startPlanPump(engine *sim.Engine, net *Network, cur *trace.PlanCursor, horizon float64, par bool) {
 	pending, ok := cur.Next()
 	if !ok {
 		return
 	}
 	var pump func(e *sim.Engine)
+	arm := func(at float64) {
+		if par {
+			engine.ScheduleBand(at, bandPump, sim.InlineFunc(pump))
+			return
+		}
+		engine.ScheduleBandFunc(at, bandPump, pump)
+	}
 	pump = func(e *sim.Engine) {
 		t := pending.Start
 		for {
@@ -629,6 +695,11 @@ func startPlanPump(engine *sim.Engine, net *Network, cur *trace.PlanCursor, hori
 						closeWindow(net, w)
 					}
 				})
+			} else if par {
+				engine.ScheduleBand(c.Start, bandMeeting, &sessionEvent{
+					net: net, a: net.Node(c.A), b: net.Node(c.B),
+					bytes: c.Bytes, at: c.Start,
+				})
 			} else {
 				engine.ScheduleBandFunc(c.Start, bandMeeting, func(e *sim.Engine) {
 					RunSession(net, net.Node(c.A), net.Node(c.B), c.Bytes)
@@ -638,10 +709,10 @@ func startPlanPump(engine *sim.Engine, net *Network, cur *trace.PlanCursor, hori
 				return
 			}
 			if pending.Start != t {
-				engine.ScheduleBandFunc(pending.Start, bandPump, pump)
+				arm(pending.Start)
 				return
 			}
 		}
 	}
-	engine.ScheduleBandFunc(pending.Start, bandPump, pump)
+	arm(pending.Start)
 }

@@ -5,6 +5,7 @@ import (
 
 	"rapid/internal/buffer"
 	"rapid/internal/control"
+	"rapid/internal/metrics"
 )
 
 // Session executes one transfer opportunity between two nodes,
@@ -22,10 +23,19 @@ import (
 // The byte budget is shared between directions and between control and
 // data, matching the merged connection events of the deployment (§5).
 type Session struct {
-	net    *Network
-	x, y   *Node
-	budget int64
-	now    float64
+	net      *Network
+	x, y     *Node
+	budget   int64
+	capacity int64
+	now      float64
+	// stats receives the session's channel accounting. A point session
+	// points it at owned and folds into the collector at finish, which
+	// is what lets the parallel engine run the session body in a
+	// concurrent wave and apply counters in exact serial commit order.
+	// A windowed session outlives its opening event and is always
+	// driven serially, so it points stats at the collector directly.
+	stats *metrics.Delta
+	owned metrics.Delta
 }
 
 // RunSession processes a meeting between nodes a and b with the given
@@ -33,29 +43,57 @@ type Session struct {
 // never happens: the dark radio neither forwards nor receives, so no
 // bytes move, nothing is observed, and no opportunity is accounted.
 func RunSession(net *Network, a, b *Node, bytes int64) {
-	if a.Down || b.Down {
+	s := beginSession(net, a, b, bytes, net.Now())
+	if s == nil {
 		return
 	}
-	s := &Session{net: net, x: a, y: b, budget: bytes, now: net.Now()}
-	net.Collector.Meetings++
-	net.Collector.OpportunityBytes += bytes
+	s.run()
+	s.finish()
+}
+
+// beginSession constructs a point session, or nil when a churned-down
+// endpoint suppresses the meeting. now is passed explicitly because the
+// parallel engine executes sessions after the clock has moved past
+// their instant.
+func beginSession(net *Network, a, b *Node, bytes int64, now float64) *Session {
+	if a.Down || b.Down {
+		return nil
+	}
+	s := &Session{net: net, x: a, y: b, budget: bytes, capacity: bytes, now: now}
+	s.stats = &s.owned
+	return s
+}
+
+// run executes the session body. It touches only the two endpoint nodes
+// and the session's stats delta (plus read-only run state: config,
+// delivery records), which is the confinement the parallel engine's
+// conflict-free waves rely on.
+func (s *Session) run() {
+	s.stats.Meetings++
+	s.stats.OpportunityBytes += s.capacity
 
 	// Both ends observe the opportunity size (the moving average that
 	// becomes B in Estimate-Delay).
-	a.Ctl.ObserveTransfer(bytes)
-	b.Ctl.ObserveTransfer(bytes)
+	s.x.Ctl.ObserveTransfer(s.capacity)
+	s.y.Ctl.ObserveTransfer(s.capacity)
 
 	s.exchangeMetadata()
-	s.purgeAcked(a)
-	s.purgeAcked(b)
+	s.purgeAcked(s.x)
+	s.purgeAcked(s.y)
 	s.gossip()
 
-	s.directDeliver(a, b)
-	s.directDeliver(b, a)
+	s.directDeliver(s.x, s.y)
+	s.directDeliver(s.y, s.x)
 	s.replicate()
+}
 
-	if h := net.hooks; h != nil && h.OnOpportunityDone != nil {
-		h.OnOpportunityDone(a.ID, b.ID, bytes, bytes-s.budget, false, s.now)
+// finish folds the session's accounting into the collector and fires
+// the opportunity hook — the globally ordered effects of a point
+// session, applied in commit order.
+func (s *Session) finish() {
+	s.net.Collector.Delta.Add(&s.owned)
+	if h := s.net.hooks; h != nil && h.OnOpportunityDone != nil {
+		h.OnOpportunityDone(s.x.ID, s.y.ID, s.capacity, s.capacity-s.budget, false, s.now)
 	}
 }
 
@@ -99,7 +137,7 @@ func (s *Session) exchangeMetadata() {
 		s.now, opts,
 	)
 	s.budget -= res.Bytes
-	s.net.Collector.MetaBytes += res.Bytes
+	s.stats.MetaBytes += res.Bytes
 }
 
 // purgeAcked drops buffered copies of packets now known delivered
@@ -150,8 +188,8 @@ func (s *Session) directEligible(e *buffer.Entry, from *Node) (send, purge bool)
 // and removal of the sender's copy. Shared by the instantaneous and
 // windowed paths.
 func (s *Session) deliverDirect(from, to *Node, e *buffer.Entry, now float64) {
-	s.net.Collector.DataBytes += e.P.Size
-	s.net.Collector.DirectDeliveries++
+	s.stats.DataBytes += e.P.Size
+	s.stats.DirectDeliveries++
 	s.net.Collector.Delivered(e.P.ID, now, e.Hops+1)
 	from.Ctl.LearnAck(e.P.ID, now)
 	to.Ctl.LearnAck(e.P.ID, now)
@@ -248,8 +286,8 @@ func (s *Session) acceptReplica(from, to *Node, e *buffer.Entry, now float64, de
 	if !to.Router.Accept(copyEntry, from.ID, now) {
 		return false
 	}
-	s.net.Collector.DataBytes += e.P.Size
-	s.net.Collector.Replications++
+	s.stats.DataBytes += e.P.Size
+	s.stats.Replications++
 	delay := math.Inf(1)
 	switch {
 	case delayOf != nil:

@@ -36,6 +36,10 @@ func New(l int) routing.RouterFactory {
 // Name implements routing.Router.
 func (r *Router) Name() string { return "spray-and-wait" }
 
+// SessionConfined implements routing.SessionConfined: token state lives
+// in the entries of the two session endpoints.
+func (r *Router) SessionConfined() {}
+
 // Attach implements routing.Router.
 func (r *Router) Attach(n *routing.Node) { r.node = n }
 

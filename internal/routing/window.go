@@ -108,7 +108,10 @@ func openWindow(net *Network, c trace.Contact) *winContact {
 		return nil
 	}
 	capacity := c.Capacity()
-	s := &Session{net: net, x: x, y: y, budget: capacity, now: net.Now()}
+	s := &Session{net: net, x: x, y: y, budget: capacity, capacity: capacity, now: net.Now()}
+	// A window outlives its opening event and is always driven serially,
+	// so its accounting goes straight to the collector.
+	s.stats = &net.Collector.Delta
 	net.Collector.Meetings++
 	net.Collector.OpportunityBytes += capacity
 	x.Ctl.ObserveTransfer(capacity)

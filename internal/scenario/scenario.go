@@ -398,6 +398,12 @@ type Overrides struct {
 	// not of the runtime config.
 	Disrupt    disrupt.Spec
 	DisruptSet bool
+	// Workers overrides the run's event-engine worker count when
+	// non-zero (routing.Config.Workers semantics: >1 parallel,
+	// negative = one per CPU). Output is byte-identical at every
+	// setting, so Workers does not change what a scenario computes —
+	// only how fast.
+	Workers int
 }
 
 // Apply folds the overrides into a runtime config.
@@ -413,6 +419,9 @@ func (o Overrides) Apply(cfg *routing.Config) {
 	}
 	if o.ModeSet {
 		cfg.Mode = o.Mode
+	}
+	if o.Workers != 0 {
+		cfg.Workers = o.Workers
 	}
 	if o.Hetero.Enabled {
 		h := o.Hetero
@@ -485,6 +494,18 @@ func (s Scenario) Seeds() (schedule, workload, sim int64) {
 	}
 }
 
+// defaultRunWorkers is the process-wide engine worker default applied
+// by Materialize when neither the scenario's Overrides nor its family
+// pinned a count. See SetDefaultRunWorkers.
+var defaultRunWorkers int
+
+// SetDefaultRunWorkers sets the engine worker count scenarios run with
+// unless they pin their own (the cmd-level -run-workers knob). 0 or 1
+// is the serial engine; negative means one worker per CPU. Safe to call
+// between runs; not synchronized against concurrently executing
+// scenarios.
+func SetDefaultRunWorkers(n int) { defaultRunWorkers = n }
+
 // baseConfig is the runtime config before protocol arm and overrides.
 func (s Scenario) baseConfig() routing.Config {
 	cfg := routing.Config{
@@ -524,6 +545,13 @@ func (s Scenario) Materialize() routing.Scenario {
 	schedSeed, wSeed, simSeed := s.Seeds()
 	factory, cfg := Arm(s.Protocol, s.Metric, s.baseConfig())
 	s.Config.Apply(&cfg)
+	if cfg.Workers == 0 {
+		// The process-wide default (the -run-workers flag) applies only
+		// where the scenario did not pin a count. It lives outside the
+		// Scenario value — runs are byte-identical at every worker
+		// count, so it cannot change what a cached result would hold.
+		cfg.Workers = defaultRunWorkers
+	}
 	rs := routing.Scenario{Factory: factory, Cfg: cfg, Seed: simSeed}
 	var horizon float64
 	if s.Schedule.lazyPlan() {

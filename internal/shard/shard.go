@@ -1,0 +1,102 @@
+// Package shard partitions batches of two-endpoint events into
+// conflict-free waves and executes each wave across a bounded worker
+// pool. It is the commit-phase scheduler behind the parallel simulation
+// engine (sim.Engine.SetWorkers): two events conflict when their key
+// sets intersect — for contact sessions the keys are the endpoint node
+// IDs — and non-conflicting events commute, so a wave can run its
+// members concurrently while conflicting events keep their original
+// order by wave rank. The package has no dependencies and no global
+// state; determinism of the partition is a pure function of the input
+// order and keys.
+package shard
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Planner computes wave partitions. The zero value is ready to use. A
+// Planner reuses its internal map and wave slices across Plan calls, so
+// one long-lived planner per engine keeps per-batch allocation flat.
+// Not safe for concurrent use.
+type Planner struct {
+	last  map[int64]int
+	waves [][]int
+}
+
+// Plan partitions items 0..n-1 into waves: item i lands in the first
+// wave strictly after every earlier item that shares one of its keys.
+// Within a wave no two items share a key, so wave members may execute
+// concurrently; across waves, conflicting items preserve their index
+// order (the earlier item gets the earlier wave). The returned slices
+// are owned by the planner and are valid until the next Plan call.
+func (p *Planner) Plan(n int, keys func(i int) (a, b int64)) [][]int {
+	if p.last == nil {
+		p.last = make(map[int64]int, 2*n)
+	} else {
+		clear(p.last)
+	}
+	waves := p.waves
+	for i := range waves {
+		waves[i] = waves[i][:0]
+	}
+	used := 0
+	for i := 0; i < n; i++ {
+		a, b := keys(i)
+		w := 0
+		if last, ok := p.last[a]; ok {
+			w = last + 1
+		}
+		if last, ok := p.last[b]; ok && last+1 > w {
+			w = last + 1
+		}
+		for w >= len(waves) {
+			waves = append(waves, nil)
+		}
+		waves[w] = append(waves[w], i)
+		if w+1 > used {
+			used = w + 1
+		}
+		p.last[a] = w
+		p.last[b] = w
+	}
+	p.waves = waves
+	return waves[:used]
+}
+
+// Run executes every item of every wave: waves strictly in order with a
+// full barrier between consecutive waves, items within one wave spread
+// across at most workers goroutines. exec must be safe to call
+// concurrently for items of the same wave (by construction they share
+// no keys). workers <= 1, and waves of a single item, run serially on
+// the calling goroutine.
+func Run(waves [][]int, workers int, exec func(i int)) {
+	for _, wave := range waves {
+		if workers <= 1 || len(wave) < 2 {
+			for _, i := range wave {
+				exec(i)
+			}
+			continue
+		}
+		n := workers
+		if len(wave) < n {
+			n = len(wave)
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(n)
+		for g := 0; g < n; g++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(wave) {
+						return
+					}
+					exec(wave[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}

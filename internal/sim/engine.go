@@ -13,6 +13,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+
+	"rapid/internal/shard"
 )
 
 // Event is a unit of simulated work executed at a point in time.
@@ -27,6 +29,65 @@ type EventFunc func(e *Engine)
 
 // Execute implements Event.
 func (f EventFunc) Execute(e *Engine) { f(e) }
+
+// ShardEvent is an Event the parallel engine may batch with other shard
+// events and execute concurrently. Two shard events conflict when their
+// key sets intersect; non-conflicting events must commute. The split
+// contract is:
+//
+//	Execute(e) ≡ ExecuteShard(e); CommitShard(e)
+//
+// ExecuteShard runs inside a conflict-free wave, possibly concurrently
+// with other events and possibly after the clock has advanced past the
+// event's own timestamp — it must not read e.Now(), schedule events, or
+// touch any state outside the shards named by ShardKeys (plus
+// event-private state). CommitShard runs serially, in exact heap pop
+// order, and is where globally ordered side effects (collector folds,
+// scheduling) belong. Events must carry their own timestamp if either
+// phase needs it.
+type ShardEvent interface {
+	Event
+	// ShardKeys returns the (at most two) shard identities the event
+	// reads or writes during ExecuteShard. For a contact session these
+	// are the endpoint node IDs; single-shard events return the same
+	// key twice.
+	ShardKeys() (a, b int64)
+	ExecuteShard(e *Engine)
+	CommitShard(e *Engine)
+}
+
+// CollectEvent is an optional ShardEvent refinement: OnCollect runs on
+// the engine goroutine at the event's exact pop position, while the
+// batch is still being collected and before any of its waves execute.
+// It is the slot for bookkeeping that must happen in total pop order
+// *before* dependents can observe it — registering a packet's delivery
+// record before any same-batch session could deliver the packet. Like
+// inline events, its effects must be invisible to the wave phase of
+// batch-mates popped earlier (they run after OnCollect).
+type CollectEvent interface {
+	ShardEvent
+	OnCollect(e *Engine)
+}
+
+// InlineEvent marks an Event the parallel engine executes immediately
+// during batch collection, without flushing pending shard events first.
+// Only events whose effects are confined to the engine itself plus
+// event-private state (the lazy stream pumps: they advance a private
+// cursor and schedule future events) qualify — anything touching node
+// or collector state must not be inline.
+type InlineEvent interface {
+	Event
+	InlineShard()
+}
+
+// InlineFunc adapts a plain function to InlineEvent.
+type InlineFunc func(e *Engine)
+
+// Execute implements Event.
+func (f InlineFunc) Execute(e *Engine) { f(e) }
+
+// InlineShard implements InlineEvent.
+func (InlineFunc) InlineShard() {}
 
 // item is a scheduled event inside the queue.
 type item struct {
@@ -95,8 +156,14 @@ type Engine struct {
 	// AfterEvent, when non-nil, runs after every executed event — the
 	// instrumentation point conformance harnesses use to assert
 	// invariants (buffer occupancy, budget conservation) at event
-	// granularity without perturbing the event stream.
+	// granularity without perturbing the event stream. Setting it
+	// disables the parallel path: the hook's contract is one callback
+	// per fully applied event, which batching would violate.
 	AfterEvent func(*Engine)
+
+	workers int
+	planner shard.Planner
+	batch   []*item
 }
 
 // New returns an engine whose named random streams derive from seed.
@@ -194,6 +261,10 @@ func (e *Engine) Step() bool {
 
 // Run executes events until the queue empties.
 func (e *Engine) Run() {
+	if e.parallel() {
+		e.runParallelUntil(0, false)
+		return
+	}
 	for e.Step() {
 	}
 }
@@ -201,6 +272,10 @@ func (e *Engine) Run() {
 // RunUntil executes events with time <= deadline, advancing the clock to
 // exactly deadline afterwards. Remaining events stay queued.
 func (e *Engine) RunUntil(deadline float64) {
+	if e.parallel() {
+		e.runParallelUntil(deadline, true)
+		return
+	}
 	for len(e.queue) > 0 {
 		// Peek.
 		next := e.queue[0]
@@ -216,6 +291,114 @@ func (e *Engine) RunUntil(deadline float64) {
 	if e.now < deadline {
 		e.now = deadline
 	}
+}
+
+// SetWorkers sets the number of worker goroutines the engine may spread
+// conflict-free ShardEvent waves across. n <= 1 keeps the historical
+// fully serial loop. The parallel loop is byte-identical to the serial
+// one for any event mix honoring the ShardEvent/InlineEvent contracts.
+func (e *Engine) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	e.workers = n
+}
+
+// Workers reports the configured worker count (0 and 1 both mean serial).
+func (e *Engine) Workers() int { return e.workers }
+
+func (e *Engine) parallel() bool {
+	return e.workers > 1 && e.AfterEvent == nil
+}
+
+// batchCap bounds how many consecutive ShardEvents are collected before
+// a flush: enough to keep the pool busy across waves, small enough that
+// per-batch planning state stays cache-resident.
+func (e *Engine) batchCap() int {
+	c := 32 * e.workers
+	if c < 64 {
+		c = 64
+	}
+	if c > 1024 {
+		c = 1024
+	}
+	return c
+}
+
+// runParallelUntil is the batching counterpart of the Step loop. It
+// pops events in exact heap order, accumulating maximal runs of
+// consecutive ShardEvents (inline events execute immediately without
+// breaking a run); each run is partitioned into conflict-free waves,
+// executed across the pool, then committed serially in pop order. Any
+// other event is a flush barrier and runs serially in place, so the
+// total order of observable effects matches the serial engine exactly.
+func (e *Engine) runParallelUntil(deadline float64, bounded bool) {
+	limit := e.batchCap()
+	for len(e.queue) > 0 {
+		next := e.queue[0]
+		if next.dead {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if bounded && next.at > deadline {
+			break
+		}
+		switch ev := next.ev.(type) {
+		case ShardEvent:
+			heap.Pop(&e.queue)
+			e.now = next.at
+			e.Executed++
+			if ce, ok := next.ev.(CollectEvent); ok {
+				ce.OnCollect(e)
+			}
+			e.batch = append(e.batch, next)
+			if len(e.batch) >= limit {
+				e.flushBatch()
+			}
+		case InlineEvent:
+			heap.Pop(&e.queue)
+			e.now = next.at
+			e.Executed++
+			ev.Execute(e)
+		default:
+			e.flushBatch()
+			heap.Pop(&e.queue)
+			e.now = next.at
+			e.Executed++
+			ev.Execute(e)
+		}
+	}
+	e.flushBatch()
+	if bounded && e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// flushBatch executes and commits the pending ShardEvent batch.
+func (e *Engine) flushBatch() {
+	n := len(e.batch)
+	if n == 0 {
+		return
+	}
+	if n == 1 {
+		ev := e.batch[0].ev.(ShardEvent)
+		ev.ExecuteShard(e)
+		ev.CommitShard(e)
+	} else {
+		waves := e.planner.Plan(n, func(i int) (int64, int64) {
+			return e.batch[i].ev.(ShardEvent).ShardKeys()
+		})
+		shard.Run(waves, e.workers, func(i int) {
+			e.batch[i].ev.(ShardEvent).ExecuteShard(e)
+		})
+		for _, it := range e.batch {
+			it.ev.(ShardEvent).CommitShard(e)
+		}
+	}
+	for i := range e.batch {
+		e.batch[i] = nil
+	}
+	e.batch = e.batch[:0]
 }
 
 // Rand returns the named deterministic random stream, creating it on

@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// The parallel engine must replay any mix of shard, inline and plain
+// events with effects observably identical to the serial loop. The toy
+// model here: an array of cells; a shard event adds to two cells during
+// its wave phase and appends an audit entry at commit; a plain event
+// reads the running total (so it can observe misordering); an inline
+// event schedules follow-ups.
+
+type cellEvent struct {
+	cells *[]int
+	audit *[]string
+	a, b  int
+	inc   int
+	// snapA/snapB capture the event's own post-increment view of its
+	// cells during the wave phase. Per the ShardEvent contract the
+	// commit phase must not re-read shard state (later batch members
+	// may have advanced it); it reports the captured view, which the
+	// conflict rule makes deterministic.
+	snapA, snapB int
+}
+
+func (ev *cellEvent) Execute(e *Engine) {
+	ev.ExecuteShard(e)
+	ev.CommitShard(e)
+}
+
+func (ev *cellEvent) ShardKeys() (int64, int64) { return int64(ev.a), int64(ev.b) }
+
+func (ev *cellEvent) ExecuteShard(e *Engine) {
+	(*ev.cells)[ev.a] += ev.inc
+	if ev.b != ev.a {
+		(*ev.cells)[ev.b] += ev.inc
+	}
+	ev.snapA = (*ev.cells)[ev.a]
+	ev.snapB = (*ev.cells)[ev.b]
+}
+
+func (ev *cellEvent) CommitShard(e *Engine) {
+	*ev.audit = append(*ev.audit, fmt.Sprintf("commit %d+%d cells %d/%d", ev.a, ev.b, ev.snapA, ev.snapB))
+}
+
+// run replays one deterministic random mix of events and returns the
+// final cells plus the audit log.
+func runMix(workers int, seed int64) ([]int, []string) {
+	const nCells = 12
+	cells := make([]int, nCells)
+	var audit []string
+	e := New(1)
+	e.SetWorkers(workers)
+	r := rand.New(rand.NewSource(seed))
+	for i := 0; i < 400; i++ {
+		at := float64(r.Intn(50))
+		switch r.Intn(10) {
+		case 0: // plain event: flush barrier observing global state
+			e.ScheduleFunc(at, func(*Engine) {
+				total := 0
+				for _, c := range cells {
+					total += c
+				}
+				audit = append(audit, fmt.Sprintf("barrier total %d", total))
+			})
+		case 1: // inline event scheduling a follow-up shard event
+			a, b, inc := r.Intn(nCells), r.Intn(nCells), r.Intn(5)
+			e.ScheduleBand(at, -1, InlineFunc(func(e *Engine) {
+				e.Schedule(e.Now()+1, &cellEvent{cells: &cells, audit: &audit, a: a, b: b, inc: inc})
+			}))
+		default:
+			e.Schedule(at, &cellEvent{
+				cells: &cells, audit: &audit,
+				a: r.Intn(nCells), b: r.Intn(nCells), inc: r.Intn(5),
+			})
+		}
+	}
+	e.Run()
+	return cells, audit
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		wantCells, wantAudit := runMix(1, seed)
+		for _, workers := range []int{2, 4, 8} {
+			gotCells, gotAudit := runMix(workers, seed)
+			for i := range wantCells {
+				if gotCells[i] != wantCells[i] {
+					t.Fatalf("seed %d workers %d: cell %d = %d, want %d",
+						seed, workers, i, gotCells[i], wantCells[i])
+				}
+			}
+			if len(gotAudit) != len(wantAudit) {
+				t.Fatalf("seed %d workers %d: audit length %d, want %d",
+					seed, workers, len(gotAudit), len(wantAudit))
+			}
+			for i := range wantAudit {
+				if gotAudit[i] != wantAudit[i] {
+					t.Fatalf("seed %d workers %d: audit[%d] = %q, want %q",
+						seed, workers, i, gotAudit[i], wantAudit[i])
+				}
+			}
+		}
+	}
+}
+
+func TestParallelRunUntilDeadline(t *testing.T) {
+	cells := make([]int, 4)
+	var audit []string
+	e := New(1)
+	e.SetWorkers(4)
+	for i := 0; i < 20; i++ {
+		e.Schedule(float64(i), &cellEvent{cells: &cells, audit: &audit, a: i % 4, b: (i + 1) % 4, inc: 1})
+	}
+	e.RunUntil(9.5)
+	if got := len(audit); got != 10 {
+		t.Fatalf("events committed by deadline: %d, want 10", got)
+	}
+	if e.Now() != 9.5 {
+		t.Fatalf("clock after bounded run: %v, want 9.5", e.Now())
+	}
+	e.RunUntil(100)
+	if got := len(audit); got != 20 {
+		t.Fatalf("events committed after resume: %d, want 20", got)
+	}
+}
+
+func TestParallelCancelledSkipped(t *testing.T) {
+	cells := make([]int, 2)
+	var audit []string
+	e := New(1)
+	e.SetWorkers(4)
+	h := e.Schedule(1, &cellEvent{cells: &cells, audit: &audit, a: 0, b: 1, inc: 7})
+	e.Schedule(2, &cellEvent{cells: &cells, audit: &audit, a: 0, b: 1, inc: 1})
+	h.Cancel()
+	e.Run()
+	if cells[0] != 1 || cells[1] != 1 {
+		t.Fatalf("cancelled shard event ran: cells %v", cells)
+	}
+}
+
+// TestParallelAfterEventFallsBack pins the gate: an engine with an
+// AfterEvent hook must use the serial loop even when workers are set.
+func TestParallelAfterEventFallsBack(t *testing.T) {
+	e := New(1)
+	e.SetWorkers(8)
+	count := 0
+	e.AfterEvent = func(*Engine) { count++ }
+	cells := make([]int, 2)
+	var audit []string
+	for i := 0; i < 5; i++ {
+		e.Schedule(float64(i), &cellEvent{cells: &cells, audit: &audit, a: 0, b: 1, inc: 1})
+	}
+	e.Run()
+	if count != 5 {
+		t.Fatalf("AfterEvent fired %d times, want 5", count)
+	}
+}
