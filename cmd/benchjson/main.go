@@ -59,13 +59,19 @@ type Report struct {
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
 	note := flag.String("note", "", "free-text annotation stored in the report")
+	date := flag.String("date", "", "date stamp for the report, YYYY-MM-DD (default: today in UTC); pass an explicit date for bit-reproducible artifacts")
 	compare := flag.String("compare", "", "baseline BENCH_*.json to diff the fresh results against")
 	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional s/op regression for gate benchmarks before exiting 1")
 	gate := flag.String("gate", "BenchmarkConstellation", "comma-separated benchmark names (suffix-stripped) the tolerance gate applies to")
 	flag.Parse()
 
+	stamp, err := resolveDate(*date)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
 	rep := Report{
-		Date:      time.Now().UTC().Format("2006-01-02"),
+		Date:      stamp,
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
@@ -83,8 +89,8 @@ func main() {
 			rep.Benchmarks = append(rep.Benchmarks, b)
 		}
 	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
+	if serr := sc.Err(); serr != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", serr)
 		os.Exit(1)
 	}
 
@@ -98,8 +104,8 @@ func main() {
 	case *out == "" && *compare == "":
 		os.Stdout.Write(enc)
 	case *out != "":
-		if err := os.WriteFile(*out, enc, 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "benchjson:", err)
+		if werr := os.WriteFile(*out, enc, 0o644); werr != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", werr)
 			os.Exit(1)
 		}
 	}
@@ -114,6 +120,21 @@ func main() {
 	if !compareReports(os.Stdout, base, rep, *compare, gateSet(*gate), *tolerance) {
 		os.Exit(1)
 	}
+}
+
+// resolveDate validates an explicit -date stamp, or defaults to today
+// in UTC. An explicit date makes the report byte-reproducible — CI
+// passes the commit date, so regenerating the artifact for the same
+// commit yields the same bytes.
+func resolveDate(date string) (string, error) {
+	if date == "" {
+		//rapidlint:allow nondeterminism — operator convenience default; CI passes an explicit -date for reproducible artifacts
+		return time.Now().UTC().Format("2006-01-02"), nil
+	}
+	if _, err := time.Parse("2006-01-02", date); err != nil {
+		return "", fmt.Errorf("invalid -date %q: want YYYY-MM-DD", date)
+	}
+	return date, nil
 }
 
 // readReport loads a committed BENCH_*.json baseline.

@@ -1,0 +1,253 @@
+// Command rapidlint is the project's multichecker: it bundles the
+// rapidlint analyzer suite (internal/lint) behind the `go vet
+// -vettool` protocol, so CI and developers run it as
+//
+//	go build -o rapidlint.bin ./cmd/rapidlint
+//	go vet -vettool=$PWD/rapidlint.bin ./...
+//
+// The binary speaks the same unit-checker protocol as
+// golang.org/x/tools/go/analysis/unitchecker, reimplemented on the
+// standard library alone (this build environment has no module
+// proxy): the go command invokes it once per package with a JSON
+// config file describing the sources and the export data of every
+// dependency, plus -V=full for build caching and -flags for flag
+// discovery. Type-checking uses go/importer's gc importer with a
+// lookup into the config's PackageFile map — the identical mechanism
+// upstream unitchecker uses.
+//
+// Diagnostics print as file:line:col: message [analyzer], and the
+// process exits 2 when any diagnostic fired, which go vet surfaces as
+// a failure.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"rapid/internal/lint"
+	"rapid/internal/lint/analysis"
+)
+
+// config is the subset of the go command's vet config JSON this
+// driver consumes. Field names must match cmd/go's encoding exactly.
+type config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rapidlint: ")
+
+	printFlags := flag.Bool("flags", false, "print analyzer flags in JSON (go vet protocol)")
+	flag.Var(versionFlag{}, "V", "print version and exit (go vet protocol)")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: rapidlint [-flags] [-V=full] <package>.cfg")
+		fmt.Fprintln(os.Stderr, "\nrapidlint is a go vet -vettool; it is driven by the go command:")
+		fmt.Fprintln(os.Stderr, "  go vet -vettool=$(realpath rapidlint.bin) ./...")
+		fmt.Fprintln(os.Stderr, "\nanalyzers:")
+		for _, a := range lint.All() {
+			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+	}
+	flag.Parse()
+
+	if *printFlags {
+		// go vet queries the tool's flags as a JSON array; rapidlint
+		// exposes none beyond the protocol ones, so the answer is
+		// empty and go vet passes only the config file.
+		fmt.Println("[]")
+		return
+	}
+
+	args := flag.Args()
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		flag.Usage()
+		os.Exit(1)
+	}
+	diags, err := run(args[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		os.Exit(2)
+	}
+}
+
+// versionFlag implements -V=full exactly like x/tools' analysisflags:
+// the go command runs `rapidlint -V=full` and uses the printed line,
+// which must include a content hash of the executable, as the tool's
+// build-cache identity.
+type versionFlag struct{}
+
+func (versionFlag) IsBoolFlag() bool { return true }
+func (versionFlag) Get() any         { return nil }
+func (versionFlag) String() string   { return "" }
+func (versionFlag) Set(s string) error {
+	if s != "full" {
+		log.Fatalf("unsupported flag value: -V=%s", s)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := os.ReadFile(exe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := sha256.Sum256(data)
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", filepath.Base(os.Args[0]), string(h[:16]))
+	os.Exit(0)
+	return nil
+}
+
+// run executes the full unit-check for one package config and returns
+// the rendered diagnostics.
+func run(cfgFile string) ([]string, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, err
+	}
+	var cfg config
+	if uerr := json.Unmarshal(data, &cfg); uerr != nil {
+		return nil, fmt.Errorf("cannot decode JSON config file %s: %v", cfgFile, uerr)
+	}
+
+	// The go command always expects the facts file to appear, even
+	// though rapidlint's analyzers export none.
+	writeVetx := func() error {
+		if cfg.VetxOutput == "" {
+			return nil
+		}
+		return os.WriteFile(cfg.VetxOutput, []byte{}, 0o666)
+	}
+	if cfg.VetxOnly {
+		// Dependency visited only for facts: nothing to do.
+		return nil, writeVetx()
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, perr := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if perr != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, writeVetx()
+			}
+			return nil, perr
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		// path is a resolved package path, not an import path.
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		return compilerImporter.Import(path)
+	})
+
+	tc := &types.Config{
+		Importer:  imp,
+		GoVersion: cfg.GoVersion,
+		Sizes:     types.SizesFor(cfg.Compiler, runtime.GOARCH),
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, writeVetx()
+		}
+		return nil, err
+	}
+
+	diags := runAnalyzers(lint.All(), fset, files, pkg, info)
+	return diags, writeVetx()
+}
+
+// runAnalyzers applies every analyzer to the package and returns the
+// rendered, position-sorted diagnostics.
+func runAnalyzers(analyzers []*analysis.Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) []string {
+	type diag struct {
+		pos token.Position
+		msg string
+	}
+	var all []diag
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d analysis.Diagnostic) {
+				all = append(all, diag{fset.Position(d.Pos), fmt.Sprintf("%s [%s]", d.Message, a.Name)})
+			},
+		}
+		if _, err := a.Run(pass); err != nil {
+			log.Fatalf("analyzer %s: %v", a.Name, err)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i].pos, all[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	out := make([]string, len(all))
+	for i, d := range all {
+		out[i] = fmt.Sprintf("%s: %s", d.pos, d.msg)
+	}
+	return out
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

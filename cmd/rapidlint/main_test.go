@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVetToolEndToEnd drives the full unit-checker protocol: it builds
+// the rapidlint binary, points `go vet -vettool` at it from a
+// throwaway module, and asserts that a reintroduced global rand.Intn
+// call fails the run (the CI regression the lint job exists to catch)
+// while the seeded-stream fix passes it.
+func TestVetToolEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and shells out to go vet")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go tool not on PATH: %v", err)
+	}
+
+	tmp := t.TempDir()
+	tool := filepath.Join(tmp, "rapidlint.bin")
+	build := exec.Command(goTool, "build", "-o", tool, ".")
+	if out, berr := build.CombinedOutput(); berr != nil {
+		t.Fatalf("go build ./cmd/rapidlint: %v\n%s", berr, out)
+	}
+
+	mod := filepath.Join(tmp, "scratch")
+	if err := os.MkdirAll(mod, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(mod, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module scratch\n\ngo 1.24\n")
+
+	vet := func() (string, error) {
+		cmd := exec.Command(goTool, "vet", "-vettool="+tool, "./...")
+		cmd.Dir = mod
+		cmd.Env = append(os.Environ(), "GOWORK=off")
+		out, verr := cmd.CombinedOutput()
+		return string(out), verr
+	}
+
+	write("main.go", `package main
+
+import "math/rand"
+
+func main() {
+	_ = rand.Intn(10)
+}
+`)
+	out, verr := vet()
+	if verr == nil {
+		t.Fatalf("go vet passed a global rand.Intn call:\n%s", out)
+	}
+	if !strings.Contains(out, "rand.Intn draws from the global") || !strings.Contains(out, "[nondeterminism]") {
+		t.Fatalf("failure output missing the nondeterminism diagnostic:\n%s", out)
+	}
+
+	write("main.go", `package main
+
+import "math/rand"
+
+func main() {
+	r := rand.New(rand.NewSource(1))
+	_ = r.Intn(10)
+}
+`)
+	if out, verr := vet(); verr != nil {
+		t.Fatalf("go vet rejected the seeded-stream fix: %v\n%s", verr, out)
+	}
+}

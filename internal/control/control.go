@@ -712,7 +712,7 @@ func (s *State) raiseTableAsOf(owner packet.NodeID, asOf float64) {
 	}
 	s.tableAsOf[owner] = asOf
 	s.tableKnown[owner] = true
-	i := sort.Search(len(s.tableOwners), func(i int) bool { return s.tableOwners[i] >= owner })
+	i := sort.Search(len(s.tableOwners), func(j int) bool { return s.tableOwners[j] >= owner })
 	s.tableOwners = append(s.tableOwners, 0)
 	copy(s.tableOwners[i+1:], s.tableOwners[i:])
 	s.tableOwners[i] = owner

@@ -194,9 +194,18 @@ func EstimateDelayIndependentMC(sc DagScenario, samples int, seed int64) map[pac
 // each chain is approximated as exponential with the gamma's mean, and
 // A(i) = 1 / Σ_j λ_j/n_j.
 func EstimateDelayExpectation(sc DagScenario) map[packet.ID]float64 {
+	// Accumulate per-packet rate sums over nodes in sorted order:
+	// several nodes contribute to the same packet, and FP addition is
+	// not associative, so map-iteration order would make the estimate
+	// depend on the run (rapidlint/maporder).
+	nodes := make([]packet.NodeID, 0, len(sc.Queues))
+	for n := range sc.Queues {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
 	rates := map[packet.ID]float64{}
-	for n, q := range sc.Queues {
-		for pos, id := range q {
+	for _, n := range nodes {
+		for pos, id := range sc.Queues[n] {
 			rates[id] += sc.Rate[n] / float64(pos+1)
 		}
 	}

@@ -79,8 +79,8 @@ func (q *QueueIndex) HypoBytesAhead(p *packet.Packet) int64 {
 		return 0
 	}
 	// First entry NOT older than p.
-	i := sort.Search(len(ents), func(i int) bool {
-		e := ents[i]
+	i := sort.Search(len(ents), func(j int) bool {
+		e := ents[j]
 		if e.created != p.Created {
 			return e.created > p.Created
 		}

@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"rapid/internal/lint/analysis"
+)
+
+// allowPrefix introduces a suppression comment:
+//
+//	//rapidlint:allow <analyzer> — <reason>
+//
+// The comment suppresses diagnostics of that analyzer on its own line
+// and on the line directly below it, so it works both as a trailing
+// comment and as a standalone line above the flagged statement.
+const allowPrefix = "//rapidlint:allow"
+
+// suppressor applies //rapidlint:allow comments for one analyzer over
+// one pass, and (for the analyzer that owns malformed-comment
+// reporting) validates the comments themselves.
+type suppressor struct {
+	pass *analysis.Pass
+	// allowed maps file name → line → set of analyzer names allowed on
+	// that line.
+	allowed map[string]map[int]map[string]bool
+}
+
+// newSuppressor scans every file comment of the pass for allow
+// comments. When reportMalformed is set, allow comments missing a
+// known analyzer name or a reason are reported as diagnostics —
+// exactly one analyzer in the suite (nondeterminism) sets it, so the
+// multichecker emits each malformed comment once.
+func newSuppressor(pass *analysis.Pass, reportMalformed bool) *suppressor {
+	s := &suppressor{pass: pass, allowed: make(map[string]map[int]map[string]bool)}
+	valid := analyzerNames
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, allowPrefix)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				name := ""
+				if len(fields) > 0 {
+					name = fields[0]
+				}
+				switch {
+				case !valid[name]:
+					if reportMalformed {
+						pass.Reportf(c.Pos(), "malformed rapidlint:allow comment: %q is not a rapidlint analyzer", name)
+					}
+					continue
+				case len(fields) < 2:
+					if reportMalformed {
+						pass.Reportf(c.Pos(), "rapidlint:allow %s needs a reason: //rapidlint:allow %s — <why this site is exempt>", name, name)
+					}
+					continue
+				}
+				pos := pass.Fset.Position(c.Pos())
+				lines := s.allowed[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					s.allowed[pos.Filename] = lines
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					set := lines[line]
+					if set == nil {
+						set = make(map[string]bool)
+						lines[line] = set
+					}
+					set[name] = true
+				}
+			}
+		}
+	}
+	return s
+}
+
+// suppressed reports whether an allow comment covers pos for this
+// suppressor's analyzer.
+func (s *suppressor) suppressed(pos token.Pos) bool {
+	p := s.pass.Fset.Position(pos)
+	return s.allowed[p.Filename][p.Line][s.pass.Analyzer.Name]
+}
+
+// reportf emits a diagnostic unless an allow comment covers it.
+func (s *suppressor) reportf(pos token.Pos, format string, args ...any) {
+	if s.suppressed(pos) {
+		return
+	}
+	s.pass.Reportf(pos, format, args...)
+}
+
+// isTestFile reports whether the file is a _test.go file. The
+// rapidlint contracts govern simulation and tooling paths; tests are
+// free to print in map order or read the clock — their determinism is
+// guarded by the metamorphic suites, not the linter.
+func isTestFile(pass *analysis.Pass, f *ast.File) bool {
+	return strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go")
+}

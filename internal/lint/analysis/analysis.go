@@ -1,0 +1,66 @@
+// Package analysis is a minimal, dependency-free subset of
+// golang.org/x/tools/go/analysis: just enough surface (Analyzer, Pass,
+// Diagnostic) for rapidlint's project-specific passes to be written in
+// the standard shape. The container building this repository has no
+// module proxy access, so the real x/tools module cannot be vendored;
+// the API here is field-for-field compatible with the upstream types
+// it mirrors, so if x/tools ever lands in go.mod the analyzers port by
+// changing one import line.
+//
+// Deliberately omitted relative to upstream: facts (no rapidlint pass
+// is cross-package), Requires/ResultOf (no pass depends on another),
+// SuggestedFixes, and flags. cmd/rapidlint supplies the unitchecker
+// half of the protocol so `go vet -vettool` drives these analyzers
+// exactly like upstream ones.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static-analysis pass: a name (used in
+// diagnostics and //rapidlint:allow suppression comments), user-facing
+// documentation, and the Run function.
+type Analyzer struct {
+	// Name identifies the analyzer. It is the token a
+	// `//rapidlint:allow <name>` comment must carry to suppress one of
+	// this analyzer's diagnostics.
+	Name string
+
+	// Doc is the analyzer's documentation: a one-line summary,
+	// a blank line, then detail.
+	Doc string
+
+	// Run applies the analyzer to a single type-checked package.
+	Run func(*Pass) (any, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass provides one analyzer run with a single type-checked package
+// and the sink for its diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report emits one finished diagnostic. The driver wraps this to
+	// apply //rapidlint:allow suppression before recording.
+	Report func(Diagnostic)
+}
+
+// Reportf emits a diagnostic at pos with a Sprintf-formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding, anchored to a position in the package.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"rapid/internal/lint/analysis"
+	"rapid/internal/lint/linttest"
+)
+
+// The fixture packages under testdata/src carry // want comments for
+// the positives (including suppression behavior); anything the
+// analyzer reports without a matching want — or any want left
+// unmatched — fails the test.
+
+func TestNondeterminism(t *testing.T) { linttest.Run(t, Nondeterminism, "nondet") }
+func TestMapOrder(t *testing.T)       { linttest.Run(t, MapOrder, "maporder") }
+func TestShardCommit(t *testing.T)    { linttest.Run(t, ShardCommit, "shardcommit") }
+func TestSessionConfined(t *testing.T) {
+	linttest.Run(t, SessionConfined, "sessionconfined")
+}
+func TestNilness(t *testing.T) { linttest.Run(t, Nilness, "nilness") }
+func TestShadow(t *testing.T)  { linttest.Run(t, Shadow, "shadow") }
+
+// TestAllNames locks the analyzerNames literal (which newSuppressor
+// consults; a literal to avoid an initialization cycle) to the actual
+// suite returned by All().
+func TestAllNames(t *testing.T) {
+	fromAll := map[string]bool{}
+	for _, a := range All() {
+		if !analyzerNames[a.Name] {
+			t.Errorf("analyzer %q missing from analyzerNames", a.Name)
+		}
+		fromAll[a.Name] = true
+	}
+	for name := range analyzerNames {
+		if !fromAll[name] {
+			t.Errorf("analyzerNames lists %q, which All() does not return", name)
+		}
+	}
+}
+
+// allowSrc is an import-free file exercising the //rapidlint:allow
+// grammar: a comment missing its reason, a comment naming an unknown
+// analyzer, and a well-formed comment.
+const allowSrc = `package fixture
+
+//rapidlint:allow maporder
+var missingReason int
+
+//rapidlint:allow clockcheck — plausible but unknown analyzer
+var unknownName int
+
+//rapidlint:allow shadow — covers this line and the next
+var covered int
+
+var uncovered int
+`
+
+// loadSource type-checks one import-free source file into a Pass for
+// the given analyzer, appending diagnostic messages to *diags.
+func loadSource(t *testing.T, src string, a *analysis.Analyzer, diags *[]string) *analysis.Pass {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := (&types.Config{}).Check("fixture", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     []*ast.File{f},
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report:    func(d analysis.Diagnostic) { *diags = append(*diags, d.Message) },
+	}
+}
+
+// TestMalformedAllowComments checks that the suppressor owning
+// malformed-comment reporting flags a missing reason and an unknown
+// analyzer name — and that non-owning suppressors stay silent, so the
+// multichecker emits each malformed comment exactly once.
+func TestMalformedAllowComments(t *testing.T) {
+	var diags []string
+	pass := loadSource(t, allowSrc, Nondeterminism, &diags)
+
+	newSuppressor(pass, true)
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics %q, want 2", len(diags), diags)
+	}
+	if !strings.Contains(diags[0], "needs a reason") {
+		t.Errorf("missing-reason diagnostic = %q", diags[0])
+	}
+	if !strings.Contains(diags[1], `"clockcheck" is not a rapidlint analyzer`) {
+		t.Errorf("unknown-name diagnostic = %q", diags[1])
+	}
+
+	diags = diags[:0]
+	newSuppressor(pass, false)
+	if len(diags) != 0 {
+		t.Errorf("non-owning suppressor reported %q", diags)
+	}
+}
+
+// TestSuppressionCoverage checks the line arithmetic: a well-formed
+// allow comment covers its own line and the next, for its named
+// analyzer only. Malformed comments suppress nothing.
+func TestSuppressionCoverage(t *testing.T) {
+	var diags []string
+	pass := loadSource(t, allowSrc, Shadow, &diags)
+	sup := newSuppressor(pass, false)
+
+	pos := func(name string) token.Pos {
+		obj := pass.Pkg.Scope().Lookup(name)
+		if obj == nil {
+			t.Fatalf("no package-level %q in fixture", name)
+		}
+		return obj.Pos()
+	}
+
+	if !sup.suppressed(pos("covered")) {
+		t.Error("shadow not suppressed on the line below its allow comment")
+	}
+	if sup.suppressed(pos("uncovered")) {
+		t.Error("suppression leaked two lines past the allow comment")
+	}
+	if sup.suppressed(pos("missingReason")) {
+		t.Error("reason-less allow comment suppressed a diagnostic")
+	}
+	if sup.suppressed(pos("unknownName")) {
+		t.Error("unknown-analyzer allow comment suppressed a diagnostic")
+	}
+
+	var mapDiags []string
+	mapPass := loadSource(t, allowSrc, MapOrder, &mapDiags)
+	if newSuppressor(mapPass, false).suppressed(mapPass.Pkg.Scope().Lookup("covered").Pos()) {
+		t.Error("allow comment naming shadow suppressed maporder")
+	}
+}

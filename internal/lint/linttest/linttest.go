@@ -1,0 +1,219 @@
+// Package linttest is an offline analogue of
+// golang.org/x/tools/go/analysis/analysistest, sized for rapidlint's
+// needs: it loads a fixture package from testdata/src/<name>, runs one
+// analyzer over it, and checks the produced diagnostics against
+// expectations written as comments in the fixture source:
+//
+//	total += v // want `float accumulation into "total"`
+//
+// The string after "want" is a regular expression (quoted or
+// backquoted; several may follow each other) that must match a
+// diagnostic reported on that line; diagnostics with no matching
+// expectation, and expectations with no matching diagnostic, fail the
+// test.
+//
+// Fixture imports resolve GOPATH-style: a path with a directory under
+// testdata/src is loaded from there (so fixtures can model the sim /
+// metrics package shapes without importing the real ones), anything
+// else is type-checked from GOROOT source via go/importer's "source"
+// importer — which is what lets fixtures exercise the real math/rand
+// and time packages with no compiled export data on disk.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"rapid/internal/lint/analysis"
+)
+
+// shared across tests: the source importer re-type-checks each stdlib
+// package once per instance, so one instance (and one FileSet, for
+// coherent positions) serves the whole test binary.
+var (
+	mu       sync.Mutex
+	fset     = token.NewFileSet()
+	srcImp   = importer.ForCompiler(fset, "source", nil)
+	fixtures = map[string]*loaded{}
+)
+
+type loaded struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// fixtureImporter resolves fixture-local packages before falling back
+// to GOROOT source.
+type fixtureImporter struct{ base string }
+
+func (im fixtureImporter) Import(path string) (*types.Package, error) {
+	dir := filepath.Join(im.base, path)
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		l, err := load(im.base, path)
+		if err != nil {
+			return nil, err
+		}
+		return l.pkg, nil
+	}
+	return srcImp.Import(path)
+}
+
+// load parses and type-checks testdata/src/<path> (cached).
+func load(base, path string) (*loaded, error) {
+	if l, ok := fixtures[path]; ok {
+		return l, nil
+	}
+	dir := filepath.Join(base, path)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, perr := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if perr != nil {
+			return nil, perr
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tc := &types.Config{Importer: fixtureImporter{base: base}}
+	pkg, err := tc.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture %s: %v", path, err)
+	}
+	l := &loaded{pkg: pkg, files: files, info: info}
+	fixtures[path] = l
+	return l, nil
+}
+
+// wantRE extracts the expectation regexps of a comment: everything
+// after the marker "want", as a sequence of quoted or backquoted
+// strings.
+var wantRE = regexp.MustCompile("(?:\"(?:[^\"\\\\]|\\\\.)*\")|(?:`[^`]*`)")
+
+// expectations returns file:line → list of unmatched regexps.
+func expectations(t *testing.T, files []*ast.File) map[string][]*regexp.Regexp {
+	t.Helper()
+	exp := make(map[string][]*regexp.Regexp)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "want ")
+				if idx < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+				for _, m := range wantRE.FindAllString(c.Text[idx+len("want"):], -1) {
+					var s string
+					if m[0] == '`' {
+						s = m[1 : len(m)-1]
+					} else {
+						var err error
+						s, err = strconv.Unquote(m)
+						if err != nil {
+							t.Fatalf("%s: bad want string %s: %v", key, m, err)
+						}
+					}
+					re, err := regexp.Compile(s)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, s, err)
+					}
+					exp[key] = append(exp[key], re)
+				}
+			}
+		}
+	}
+	return exp
+}
+
+// Run loads each fixture package and checks the analyzer's
+// diagnostics against the package's want comments.
+func Run(t *testing.T, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	mu.Lock()
+	defer mu.Unlock()
+	for _, pkg := range pkgs {
+		l, err := load(filepath.Join("testdata", "src"), pkg)
+		if err != nil {
+			t.Fatalf("%s: %v", pkg, err)
+		}
+
+		type diag struct {
+			key string
+			msg string
+		}
+		var got []diag
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     l.files,
+			Pkg:       l.pkg,
+			TypesInfo: l.info,
+			Report: func(d analysis.Diagnostic) {
+				pos := fset.Position(d.Pos)
+				got = append(got, diag{
+					key: fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line),
+					msg: d.Message,
+				})
+			},
+		}
+		if _, err := a.Run(pass); err != nil {
+			t.Fatalf("%s: analyzer %s: %v", pkg, a.Name, err)
+		}
+
+		exp := expectations(t, l.files)
+		for _, d := range got {
+			res := exp[d.key]
+			matched := -1
+			for i, re := range res {
+				if re.MatchString(d.msg) {
+					matched = i
+					break
+				}
+			}
+			if matched < 0 {
+				t.Errorf("%s: %s: unexpected diagnostic: %s", pkg, d.key, d.msg)
+				continue
+			}
+			exp[d.key] = append(res[:matched], res[matched+1:]...)
+		}
+		for key, res := range exp {
+			for _, re := range res {
+				t.Errorf("%s: %s: expected diagnostic matching %q, got none", pkg, key, re)
+			}
+		}
+	}
+}

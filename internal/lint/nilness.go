@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"rapid/internal/lint/analysis"
+)
+
+// Nilness is a lite, offline stand-in for the standard x/tools
+// nilness pass (the build environment has no module proxy). It covers
+// the highest-signal subset: inside the body of "if x == nil", any
+// use of x that must dereference it — pointer field access, pointer
+// or slice indexing, explicit *x, calling a nil function value —
+// panics on that path. The check bails out conservatively if the body
+// reassigns x anywhere, and never follows control flow out of the if
+// body, so it has no false positives from merging branches.
+var Nilness = &analysis.Analyzer{
+	Name: "nilness",
+	Doc: `report dereferences of values known to be nil
+
+Lite offline reimplementation of the core x/tools nilness check:
+flags pointer field accesses, indexing, explicit dereferences and
+calls of a variable inside the body of its own "if x == nil" guard.`,
+	Run: runNilness,
+}
+
+func runNilness(pass *analysis.Pass) (any, error) {
+	sup := newSuppressor(pass, false)
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			obj := nilComparedVar(pass.TypesInfo, ifs.Cond)
+			if obj == nil {
+				return true
+			}
+			if reassigns(pass.TypesInfo, ifs.Body, obj) {
+				return true
+			}
+			reportDerefs(pass, sup, ifs.Body, obj)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// nilComparedVar returns the variable v of a "v == nil" (or
+// "nil == v") condition, or nil.
+func nilComparedVar(info *types.Info, cond ast.Expr) *types.Var {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || be.Op != token.EQL {
+		return nil
+	}
+	x, y := ast.Unparen(be.X), ast.Unparen(be.Y)
+	if isNilIdent(info, x) {
+		x, y = y, x
+	}
+	if !isNilIdent(info, y) {
+		return nil
+	}
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	return v
+}
+
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// reassigns reports whether body assigns to obj (incl. &obj escapes).
+func reassigns(info *types.Info, body *ast.BlockStmt, obj *types.Var) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && info.Uses[id] == obj {
+					found = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if s.Op == token.AND {
+				if id, ok := ast.Unparen(s.X).(*ast.Ident); ok && info.Uses[id] == obj {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// reportDerefs flags uses of obj in body that dereference it.
+func reportDerefs(pass *analysis.Pass, sup *suppressor, body *ast.BlockStmt, obj *types.Var) {
+	info := pass.TypesInfo
+	isObj := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && info.Uses[id] == obj
+	}
+	_, isPtr := obj.Type().Underlying().(*types.Pointer)
+	_, isSlice := obj.Type().Underlying().(*types.Slice)
+	_, isFunc := obj.Type().Underlying().(*types.Signature)
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.StarExpr:
+			if isObj(e.X) {
+				sup.reportf(e.Pos(), "nil dereference: %q is nil on this path", obj.Name())
+			}
+		case *ast.SelectorExpr:
+			if !isPtr || !isObj(e.X) {
+				return true
+			}
+			// Field access through a nil pointer always panics;
+			// method calls may have nil-tolerant receivers.
+			if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+				sup.reportf(e.Pos(), "nil dereference: field access on %q, which is nil on this path", obj.Name())
+			}
+		case *ast.IndexExpr:
+			if (isPtr || isSlice) && isObj(e.X) {
+				sup.reportf(e.Pos(), "nil dereference: indexing %q, which is nil on this path", obj.Name())
+			}
+		case *ast.CallExpr:
+			if isFunc && isObj(e.Fun) {
+				sup.reportf(e.Pos(), "nil dereference: calling %q, which is nil on this path", obj.Name())
+			}
+		}
+		return true
+	})
+}

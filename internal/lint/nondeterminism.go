@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"rapid/internal/lint/analysis"
+)
+
+// Nondeterminism forbids wall-clock reads and global math/rand draws.
+//
+// Every figure in this repository is locked by golden SHA-256
+// checksums, and replications must be bit-reproducible from their
+// seed. A single time.Now or global rand.Intn in a simulation path
+// silently breaks that: the run still "works", the checksums just
+// stop meaning anything. Randomness must flow through an explicit
+// seeded *rand.Rand (sim.Engine.Rand, rand.New(rand.NewSource(seed)))
+// or the counter-based splitmix64 streams; time must come from the
+// engine clock. Deliberate wall-clock sites (progress reporting in
+// cmd/) carry a //rapidlint:allow nondeterminism annotation.
+var Nondeterminism = &analysis.Analyzer{
+	Name: "nondeterminism",
+	Doc: `forbid wall-clock reads and global math/rand draws in simulation paths
+
+Flags references to time.Now/Since/Until/Sleep/After/Tick/NewTicker/
+NewTimer/AfterFunc and to the package-level draw functions of
+math/rand and math/rand/v2 (rand.Intn, rand.Float64, rand.Shuffle, …),
+which consume hidden global state. Methods on an explicit seeded
+*rand.Rand are always allowed. This analyzer also validates
+rapidlint:allow comments for the whole suite.`,
+	Run: runNondeterminism,
+}
+
+// wallClock lists the time package functions that observe or depend on
+// the wall clock — the Go analogue of an argless new Date().
+var wallClock = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTicker": true, "NewTimer": true,
+	"AfterFunc": true,
+}
+
+// globalRand lists the package-level draw functions of math/rand and
+// math/rand/v2 that consume the hidden global source. Constructors
+// (New, NewSource, NewPCG, NewZipf…) are fine: they are how the
+// explicit seeded streams the codebase requires get built.
+var globalRand = map[string]bool{
+	// math/rand
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true, "Seed": true,
+	"Read": true,
+	// math/rand/v2 additions
+	"N": true, "IntN": true, "Int32": true, "Int32N": true,
+	"Int64N": true, "Uint": true, "UintN": true, "Uint32N": true,
+	"Uint64N": true,
+}
+
+func runNondeterminism(pass *analysis.Pass) (any, error) {
+	sup := newSuppressor(pass, true)
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			// Only package-level functions: methods on *rand.Rand or
+			// time.Time values are the sanctioned alternatives.
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if wallClock[fn.Name()] {
+					sup.reportf(sel.Pos(), "time.%s reads the wall clock: simulation paths must take time from the engine clock (sim.Engine.Now) or an explicit parameter", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if globalRand[fn.Name()] {
+					sup.reportf(sel.Pos(), "rand.%s draws from the global %s source: use an explicit seeded *rand.Rand (sim.Engine.Rand, rand.New(rand.NewSource(seed))) or a counter-based splitmix64 stream", fn.Name(), fn.Pkg().Path())
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

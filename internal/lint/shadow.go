@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"rapid/internal/lint/analysis"
+)
+
+// Shadow is a lite, offline stand-in for the standard x/tools shadow
+// pass (the build environment has no module proxy). It applies the
+// same core heuristic the upstream pass uses to separate deliberate
+// from dangerous shadowing: an inner declaration of a name already
+// bound in an enclosing function scope is reported only when the
+// *outer* variable is referenced again after the inner scope closes —
+// the situation where a reader can plausibly believe the later uses
+// saw the inner assignments.
+var Shadow = &analysis.Analyzer{
+	Name: "shadow",
+	Doc: `report shadowed variables whose outer binding is used afterwards
+
+Lite offline reimplementation of the core x/tools shadow check: an
+inner := redeclaration is flagged when the shadowed outer variable is
+referenced again after the inner scope ends.`,
+	Run: runShadow,
+}
+
+func runShadow(pass *analysis.Pass) (any, error) {
+	sup := newSuppressor(pass, false)
+	info := pass.TypesInfo
+
+	// usesOf collects every use position per object once, so the
+	// "outer used later" test is O(uses) overall.
+	usesOf := make(map[types.Object][]*ast.Ident)
+	for id, obj := range info.Uses {
+		if v, ok := obj.(*types.Var); ok {
+			usesOf[v] = append(usesOf[v], id) //rapidlint:allow maporder — per-object buckets consulted for membership-after-position only; bucket order is never observed
+		}
+	}
+
+	type finding struct {
+		inner *ast.Ident
+		outer *types.Var
+	}
+	var findings []finding
+
+	for id, obj := range info.Defs {
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() || v.Name() == "_" {
+			continue
+		}
+		inner := v.Parent()
+		if inner == nil || inner == pass.Pkg.Scope() {
+			continue
+		}
+		// Search enclosing scopes up to (but not including) package
+		// scope for an earlier binding of the same name.
+		var outer *types.Var
+		for s := inner.Parent(); s != nil && s != pass.Pkg.Scope() && s != types.Universe; s = s.Parent() {
+			if o, ok := s.Lookup(v.Name()).(*types.Var); ok && o != v && o.Pos() < v.Pos() && !o.IsField() {
+				outer = o
+				break
+			}
+		}
+		if outer == nil {
+			continue
+		}
+		// Risky only if the outer binding is read again after the
+		// inner scope has ended.
+		usedAfter := false
+		for _, use := range usesOf[outer] {
+			if use.Pos() > inner.End() {
+				usedAfter = true
+				break
+			}
+		}
+		if usedAfter {
+			findings = append(findings, finding{id, outer})
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool { return findings[i].inner.Pos() < findings[j].inner.Pos() })
+	for _, f := range findings {
+		if file := fileOf(pass, f.inner.Pos()); file != nil && isTestFile(pass, file) {
+			continue
+		}
+		sup.reportf(f.inner.Pos(), "declaration of %q shadows declaration at %s, and the shadowed variable is used after this scope ends", f.inner.Name, pass.Fset.Position(f.outer.Pos()))
+	}
+	return nil, nil
+}
+
+// fileOf returns the *ast.File of the pass containing pos.
+func fileOf(pass *analysis.Pass, pos token.Pos) *ast.File {
+	for _, f := range pass.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+// Package maporder exercises the maporder analyzer: map-range bodies
+// that accumulate floats, leak append order, or perform I/O are
+// positives; per-key writes, integer counting, and slices sorted
+// afterwards (directly, through an alias, or through a range value)
+// are negatives.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func floatSum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want `float accumulation into "total"`
+	}
+	return total
+}
+
+func floatSumPlain(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total = total + v // want `float accumulation into "total"`
+	}
+	return total
+}
+
+func intCount(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v // integers commute: no diagnostic
+	}
+	return n
+}
+
+func perKey(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] += v * 2 // per-key write: each key visited once
+	}
+	return out
+}
+
+func escaping(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `"keys" is appended to in map iteration order`
+	}
+	return keys
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedAlias(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	out := vals
+	sort.Ints(out)
+	return out
+}
+
+func sortedBuckets(m map[int]int) [][]int {
+	var buckets [][]int
+	for k, v := range m {
+		buckets = append(buckets, []int{k, v})
+	}
+	// One-level derivation: sorting through the range value clears the
+	// diagnostic (the dagdelay bucket-mirror idiom).
+	for _, b := range buckets {
+		sort.Ints(b)
+	}
+	return buckets
+}
+
+func printing(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `fmt\.Println inside a map-range body`
+	}
+}
+
+func writing(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `WriteString on an io\.Writer inside a map-range body`
+	}
+	return b.String()
+}
+
+func allowed(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v //rapidlint:allow maporder — fixture: tolerance-checked aggregate, order error below epsilon
+	}
+	return total
+}

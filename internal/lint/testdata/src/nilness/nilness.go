@@ -1,0 +1,64 @@
+// Package nilness exercises the lite nilness analyzer: dereferences
+// inside the body of a value's own nil guard are positives;
+// reassignment before use and method calls (nil-tolerant receivers)
+// are negatives.
+package nilness
+
+type box struct{ v int }
+
+func (p *box) describe() string {
+	if p == nil {
+		return "<nil>"
+	}
+	return "box"
+}
+
+func field(p *box) int {
+	if p == nil {
+		return p.v // want `field access on "p"`
+	}
+	return p.v
+}
+
+func deref(p *int) int {
+	if p == nil {
+		return *p // want `"p" is nil on this path`
+	}
+	return *p
+}
+
+func index(s []int) int {
+	if s == nil {
+		return s[0] // want `indexing "s"`
+	}
+	return 0
+}
+
+func call(f func() int) int {
+	if f == nil {
+		return f() // want `calling "f"`
+	}
+	return f()
+}
+
+func guarded(p *box) int {
+	if p == nil {
+		p = &box{}
+		return p.v // reassigned first: no diagnostic
+	}
+	return p.v
+}
+
+func method(p *box) string {
+	if p == nil {
+		return p.describe() // method call: receiver may tolerate nil
+	}
+	return p.describe()
+}
+
+func allowed(p *box) int {
+	if p == nil {
+		return p.v //rapidlint:allow nilness — fixture: suppression accepted on the flagged line
+	}
+	return p.v
+}

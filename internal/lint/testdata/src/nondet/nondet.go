@@ -1,0 +1,52 @@
+// Package nondet exercises the nondeterminism analyzer: wall-clock
+// reads and global math/rand draws are positives, explicit seeded
+// streams and time.Time value methods are negatives.
+package nondet
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+func globalDraws() {
+	_ = rand.Intn(10)                  // want `rand\.Intn draws from the global math/rand source`
+	_ = rand.Float64()                 // want `rand\.Float64 draws from the global math/rand source`
+	rand.Shuffle(2, func(i, j int) {}) // want `rand\.Shuffle draws from the global math/rand source`
+	_ = randv2.IntN(10)                // want `rand\.IntN draws from the global math/rand/v2 source`
+}
+
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // constructors are the sanctioned path
+	r.Shuffle(2, func(i, j int) {})
+	return r.Intn(10)
+}
+
+func derived(t time.Time) time.Time {
+	return t.Add(time.Second).Truncate(time.Minute) // methods on values are fine
+}
+
+func allowedTrailing() time.Time {
+	return time.Now() //rapidlint:allow nondeterminism — fixture: trailing-comment suppression
+}
+
+func allowedAbove() time.Time {
+	//rapidlint:allow nondeterminism — fixture: suppression from the line above
+	return time.Now()
+}
+
+func wrongName() time.Time {
+	return time.Now() //rapidlint:allow maporder x // want `time\.Now reads the wall clock`
+}
+
+func badAllow() time.Time {
+	return time.Now() //rapidlint:allow clockcheck oops // want `not a rapidlint analyzer` `time\.Now reads the wall clock`
+}

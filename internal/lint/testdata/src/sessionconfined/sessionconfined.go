@@ -1,0 +1,68 @@
+// Package sessionconfined exercises the sessionconfined analyzer. The
+// marker is structural: any type with a niladic SessionConfined
+// method is held to the no-shared-state promise.
+package sessionconfined
+
+import "math/rand"
+
+// shared is package-level mutable state: off-limits to marked types.
+var shared = map[int]float64{}
+
+// errClosed is an error sentinel, exempt by convention.
+var errClosed error
+
+// scale is a constant: immutable, never flagged.
+const scale = 1.5
+
+type BadRouter struct {
+	rng *rand.Rand // want `SessionConfined router BadRouter holds a \*rand\.Rand field "rng"`
+}
+
+func (r *BadRouter) SessionConfined() {}
+
+func (r *BadRouter) Touch() {
+	shared[1] = 2 // want `references package-level variable "shared" \(via Touch\)`
+}
+
+func (r *BadRouter) Indirect() { bump() }
+
+func (r *BadRouter) Sentinel() error { return errClosed }
+
+func bump() {
+	shared[3] = 4 // want `references package-level variable "shared" \(via Indirect → bump\)`
+}
+
+type inner struct {
+	stream *rand.Rand // want `SessionConfined router EmbedRouter holds a \*rand\.Rand field "stream"`
+}
+
+type EmbedRouter struct {
+	inner
+	hops int
+}
+
+func (r *EmbedRouter) SessionConfined() {}
+
+type OkRouter struct {
+	seed  uint64
+	local []float64
+}
+
+func (r *OkRouter) SessionConfined() {}
+
+func (r *OkRouter) Step(peer *OkRouter) {
+	r.local = append(r.local, scale*float64(r.seed))
+	_ = peer.seed
+}
+
+type AllowRouter struct {
+	scratch *rand.Rand //rapidlint:allow sessionconfined — fixture: suppression accepted on a field
+}
+
+func (r *AllowRouter) SessionConfined() {}
+
+type Unmarked struct {
+	rng *rand.Rand
+}
+
+func (u *Unmarked) Use() { shared[5] = 6 }

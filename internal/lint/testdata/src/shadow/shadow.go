@@ -1,0 +1,45 @@
+// Package shadow exercises the lite shadow analyzer: an inner
+// redeclaration is a positive only when the shadowed outer variable
+// is used again after the inner scope closes.
+package shadow
+
+func setup() error { return nil }
+func tear() error  { return nil }
+
+func usedAfter(vals []int) int {
+	x := 1
+	if len(vals) > 0 {
+		x := vals[0] // want `declaration of "x" shadows declaration`
+		_ = x
+	}
+	return x
+}
+
+func notUsedAfter(vals []int) {
+	x := 0
+	_ = x
+	for _, v := range vals {
+		x := v * 2
+		_ = x
+	}
+}
+
+func ifErrIdiom() error {
+	err := setup()
+	if err != nil {
+		return err
+	}
+	if err := tear(); err != nil { // outer err never read again: no diagnostic
+		return err
+	}
+	return nil
+}
+
+func deliberate(vals []int) int {
+	best := 0
+	for _, v := range vals {
+		best := v //rapidlint:allow shadow — fixture: deliberate rebinding kept for the suppression test
+		_ = best
+	}
+	return best
+}

@@ -98,9 +98,18 @@ func (r *Router) GossipWith(peer routing.Router, now float64) {
 func (r *Router) observeMeeting(peer packet.NodeID) {
 	vec := r.probs[r.node.ID]
 	vec[peer]++
+	// Sum in sorted node order: FP addition is not associative, so a
+	// map-order sum would make the normalized vector — and every
+	// downstream path cost — differ bit-wise from run to run
+	// (rapidlint/maporder).
+	ids := make([]packet.NodeID, 0, len(vec))
+	for k := range vec {
+		ids = append(ids, k)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	var sum float64
-	for _, v := range vec {
-		sum += v
+	for _, k := range ids {
+		sum += vec[k]
 	}
 	for k := range vec {
 		vec[k] /= sum

@@ -176,6 +176,7 @@ func (s *Session) directEligible(e *buffer.Entry, from *Node) (send, purge bool)
 	if s.budget < e.P.Size {
 		return false, false
 	}
+	//rapidlint:allow shardcommit — per-packet record read: a packet's record is only written by sessions sharing its destination endpoint, so the shard conflict rule already orders this against every writer (DESIGN.md §12)
 	if s.net.Collector.IsDelivered(e.P.ID) && from.Ctl.IsAcked(e.P.ID) {
 		return false, true
 	}
@@ -190,6 +191,7 @@ func (s *Session) directEligible(e *buffer.Entry, from *Node) (send, purge bool)
 func (s *Session) deliverDirect(from, to *Node, e *buffer.Entry, now float64) {
 	s.stats.DataBytes += e.P.Size
 	s.stats.DirectDeliveries++
+	//rapidlint:allow shardcommit — per-packet record write: only sessions sharing this packet's destination endpoint touch its record, so the shard conflict rule orders it; the global counters fold at commit via s.owned (DESIGN.md §12)
 	s.net.Collector.Delivered(e.P.ID, now, e.Hops+1)
 	from.Ctl.LearnAck(e.P.ID, now)
 	to.Ctl.LearnAck(e.P.ID, now)
