@@ -203,25 +203,9 @@ func runFamily(name string, sc exp.Scale, reps int, outDir string, plotW, plotH 
 	sums := engine.Summaries(scs)
 	elapsed := time.Since(start).Round(time.Millisecond) //rapidlint:allow nondeterminism — wall-clock progress timing for the operator
 
-	tbl := &report.Table{Header: []string{
-		"protocol", "load", "run", "generated", "delivered", "rate", "avg delay (s)", "within deadline", "lost",
-	}}
-	for i, s := range sums {
-		tbl.AddRow(
-			string(scs[i].Protocol),
-			report.F(scs[i].Workload.Load),
-			fmt.Sprint(scs[i].Run),
-			fmt.Sprint(s.Generated),
-			fmt.Sprint(s.Delivered),
-			report.Pct(s.DeliveryRate),
-			report.F(s.AvgDelay),
-			report.Pct(s.WithinDeadline),
-			fmt.Sprint(s.LostTransfers),
-		)
-	}
 	fmt.Printf("family %s: %d scenarios on %d workers in %v\n\n", name, len(scs), engine.Workers(), elapsed)
 	if !quiet {
-		fmt.Print(tbl.Render())
+		fmt.Print(exp.RenderFamilySummaryTable(scs, sums))
 	}
 
 	if params.Runs < 2 {

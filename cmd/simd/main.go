@@ -1,0 +1,83 @@
+// Command simd serves the simulation service: a long-lived HTTP/JSON
+// API over the scenario registry and experiment engine, with streaming
+// per-packet telemetry and Prometheus metrics. See DESIGN.md §14 and
+// the EXPERIMENTS.md walkthrough.
+//
+//	simd -addr :8080 &
+//	curl -s localhost:8080/v1/families
+//	curl -s -X POST localhost:8080/v1/jobs \
+//	    -d '{"family":"synth-exponential","scale":"tiny","telemetry":true}'
+//	curl -s -N localhost:8080/v1/jobs/job-000001/events
+//	curl -s localhost:8080/v1/jobs/job-000001/table
+//	curl -s localhost:8080/metrics
+//
+// SIGINT/SIGTERM drains: intake stops (healthz flips to 503), queued
+// jobs cancel, running jobs finish, then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rapid/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	engineWorkers := flag.Int("engine-workers", 0, "scenario pool size (0 = GOMAXPROCS)")
+	runWorkers := flag.Int("run-workers", 0, "intra-run event-engine workers for scenarios without their own pin (0 = serial)")
+	maxJobs := flag.Int("max-jobs", 2, "jobs executing concurrently")
+	queueDepth := flag.Int("queue", 64, "queued-job bound; submissions beyond it get 429")
+	cacheLimit := flag.Int("cache", 0, "summary cache entry bound (0 = default)")
+	drainTimeout := flag.Duration("drain-timeout", time.Minute, "max wait for running jobs on shutdown")
+	flag.Parse()
+
+	srv := service.New(service.Config{
+		EngineWorkers:     *engineWorkers,
+		CacheLimit:        *cacheLimit,
+		RunWorkers:        *runWorkers,
+		MaxConcurrentJobs: *maxJobs,
+		QueueDepth:        *queueDepth,
+	})
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "simd: listening on %s\n", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "simd: draining")
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		drainErr := srv.Drain(drainCtx)
+		// Streams of finished jobs close on their own; shut the listener
+		// down after the jobs are settled.
+		shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second) //rapidlint:allow nondeterminism — shutdown deadline; never feeds simulation state
+		defer cancel2()
+		_ = httpSrv.Shutdown(shutCtx)
+		if drainErr != nil {
+			fmt.Fprintf(os.Stderr, "simd: %v\n", drainErr)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "simd: drained cleanly")
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "simd: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -18,6 +19,20 @@ import (
 // order.
 type Engine struct {
 	workers int
+
+	// runWorkers, when non-zero, is the intra-run event-engine worker
+	// count applied at execution time to scenarios that did not pin
+	// their own (Overrides.Workers == 0). It is the instance-scoped
+	// counterpart of the package-level SetRunWorkers: a long-lived
+	// service configures its engine without mutating process globals.
+	// It is not part of the cache key — output is byte-identical at any
+	// worker setting, so summaries are shared across settings.
+	runWorkers atomic.Int64
+
+	// hits and misses count cache lookups, for the service's
+	// cache-hit-rate metric. A duplicate scenario within one Summaries
+	// call counts one miss (it is computed once).
+	hits, misses atomic.Uint64
 
 	mu    sync.Mutex
 	cache map[scenario.Scenario]metrics.Summary
@@ -61,15 +76,46 @@ func NewEngine(workers, cacheLimit int) *Engine {
 var defaultEngine = NewEngine(0, 0)
 
 // SetWorkers resizes the default engine's worker pool (n <= 0 restores
-// GOMAXPROCS) and clears its cache.
+// GOMAXPROCS) and clears its cache. It swaps the package global
+// unsynchronized and exists solely as the cmd/experiments startup path
+// — call it once before launching sweeps. Long-lived services must
+// instead own an engine from NewEngine.
 func SetWorkers(n int) { defaultEngine = NewEngine(n, 0) }
 
-// SetRunWorkers sets the intra-run engine worker default every scenario
-// runs with (scenario.SetDefaultRunWorkers; the cmd/experiments
-// -run-workers flag). Orthogonal to SetWorkers: that pool runs whole
-// scenarios concurrently, this one parallelizes inside a single run —
-// useful when one huge run (mega-constellation) dominates the sweep.
+// SetRunWorkers sets the process-wide intra-run engine worker default
+// every scenario runs with (scenario.SetDefaultRunWorkers; the
+// cmd/experiments -run-workers flag). Orthogonal to SetWorkers: that
+// pool runs whole scenarios concurrently, this one parallelizes inside
+// a single run — useful when one huge run (mega-constellation)
+// dominates the sweep. Like SetWorkers it is an unsynchronized startup
+// knob for the batch CLI only; services use Engine.SetRunWorkers or
+// per-scenario Overrides.Workers, both instance-scoped.
 func SetRunWorkers(n int) { scenario.SetDefaultRunWorkers(n) }
+
+// SetRunWorkers sets this engine's intra-run worker default, applied at
+// execution time to scenarios that did not pin Overrides.Workers.
+// Unlike the package function it mutates no global state and is safe to
+// call concurrently with running sweeps (runs that already started keep
+// their setting). Output is byte-identical at any setting.
+func (e *Engine) SetRunWorkers(n int) { e.runWorkers.Store(int64(n)) }
+
+// RunWorkers reports the engine's intra-run worker default.
+func (e *Engine) RunWorkers() int { return int(e.runWorkers.Load()) }
+
+// applyRunWorkers pins the engine's intra-run worker default onto a
+// scenario about to execute, leaving scenarios with their own pin — and
+// the caller's cache key — untouched.
+func (e *Engine) applyRunWorkers(sc scenario.Scenario) scenario.Scenario {
+	if rw := e.RunWorkers(); rw != 0 && sc.Config.Workers == 0 {
+		sc.Config.Workers = rw
+	}
+	return sc
+}
+
+// CacheStats reports cumulative cache lookup hits and misses.
+func (e *Engine) CacheStats() (hits, misses uint64) {
+	return e.hits.Load(), e.misses.Load()
+}
 
 // DefaultEngine returns the engine the figures run on.
 func DefaultEngine() *Engine { return defaultEngine }
@@ -81,6 +127,9 @@ func (e *Engine) lookup(sc scenario.Scenario) (metrics.Summary, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	s, ok := e.cache[sc]
+	if ok {
+		e.hits.Add(1)
+	}
 	return s, ok
 }
 
@@ -116,38 +165,71 @@ func (e *Engine) CacheLen() int {
 
 // parallel fans f over n indices across the worker pool and waits.
 func (e *Engine) parallel(n int, f func(i int)) {
+	e.parallelCtx(context.Background(), n, func(i int) bool { f(i); return true })
+}
+
+// parallelCtx fans f over n indices, stopping claims once ctx is done
+// or f returns false; in-flight calls complete. It returns the number
+// of indices claimed (every i < claimed had f(i) called).
+func (e *Engine) parallelCtx(ctx context.Context, n int, f func(i int) bool) int {
 	if n <= 0 {
-		return
+		return 0
 	}
 	workers := min(e.workers, n)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			f(i)
+			if ctx.Err() != nil || !f(i) {
+				return i
+			}
 		}
-		return
+		return n
 	}
 	var next atomic.Int64
+	var stopped atomic.Bool
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			for {
+				if stopped.Load() || ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				f(i)
+				if !f(i) {
+					stopped.Store(true)
+					return
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	claimed := int(next.Load())
+	if claimed > n {
+		claimed = n
+	}
+	return claimed
 }
 
 // Summaries returns one summary per scenario, in input order. Cached
 // results are reused; misses run concurrently on the worker pool.
 // Duplicate scenarios within one call are computed once.
 func (e *Engine) Summaries(scs []scenario.Scenario) []metrics.Summary {
+	out, _ := e.SummariesCtx(context.Background(), scs)
+	return out
+}
+
+// SummariesCtx is Summaries with cooperative cancellation: once ctx is
+// done no further cache misses start; in-flight runs complete and their
+// results are cached. When the sweep was cut short the error is
+// ctx.Err() and output slots whose runs never started hold zero
+// summaries — callers must treat the slice as partial. Cancellation
+// granularity is one scenario run: a single enormous run is not
+// interrupted mid-flight.
+func (e *Engine) SummariesCtx(ctx context.Context, scs []scenario.Scenario) ([]metrics.Summary, error) {
 	out := make([]metrics.Summary, len(scs))
 	need := make(map[scenario.Scenario][]int)
 	var misses []scenario.Scenario
@@ -158,18 +240,27 @@ func (e *Engine) Summaries(scs []scenario.Scenario) []metrics.Summary {
 		}
 		if _, seen := need[sc]; !seen {
 			misses = append(misses, sc)
+			e.misses.Add(1)
 		}
 		need[sc] = append(need[sc], i)
 	}
 	results := make([]metrics.Summary, len(misses))
-	e.parallel(len(misses), func(i int) { results[i] = misses[i].Summary() })
+	ran := make([]atomic.Bool, len(misses))
+	e.parallelCtx(ctx, len(misses), func(i int) bool {
+		results[i] = e.applyRunWorkers(misses[i]).Summary()
+		ran[i].Store(true)
+		return true
+	})
 	for i, sc := range misses {
+		if !ran[i].Load() {
+			continue
+		}
 		e.store(sc, results[i])
 		for _, j := range need[sc] {
 			out[j] = results[i]
 		}
 	}
-	return out
+	return out, ctx.Err()
 }
 
 // Average runs the scenarios and averages value over their summaries.
@@ -197,7 +288,7 @@ type RunOutput struct {
 func (e *Engine) Runs(scs []scenario.Scenario) []RunOutput {
 	out := make([]RunOutput, len(scs))
 	e.parallel(len(scs), func(i int) {
-		col, horizon := scs[i].Execute()
+		col, horizon := e.applyRunWorkers(scs[i]).Execute()
 		out[i] = RunOutput{Col: col, Horizon: horizon}
 	})
 	return out

@@ -1,0 +1,41 @@
+package exp
+
+import (
+	"fmt"
+
+	"rapid/internal/metrics"
+	"rapid/internal/report"
+	"rapid/internal/scenario"
+)
+
+// FamilySummaryTable renders one summary row per scenario of a family
+// sweep — the table cmd/experiments prints for -family and the one the
+// simulation service returns for a finished job. Both front ends build
+// it here so a job submitted over HTTP is byte-identical to the batch
+// CLI run of the same scenarios.
+func FamilySummaryTable(scs []scenario.Scenario, sums []metrics.Summary) *TableData {
+	td := &TableData{Header: []string{
+		"protocol", "load", "run", "generated", "delivered", "rate", "avg delay (s)", "within deadline", "lost",
+	}}
+	for i, s := range sums {
+		td.Rows = append(td.Rows, []string{
+			string(scs[i].Protocol),
+			report.F(scs[i].Workload.Load),
+			fmt.Sprint(scs[i].Run),
+			fmt.Sprint(s.Generated),
+			fmt.Sprint(s.Delivered),
+			report.Pct(s.DeliveryRate),
+			report.F(s.AvgDelay),
+			report.Pct(s.WithinDeadline),
+			fmt.Sprint(s.LostTransfers),
+		})
+	}
+	return td
+}
+
+// RenderFamilySummaryTable is FamilySummaryTable taken to final text.
+func RenderFamilySummaryTable(scs []scenario.Scenario, sums []metrics.Summary) string {
+	td := FamilySummaryTable(scs, sums)
+	tbl := &report.Table{Header: td.Header, Rows: td.Rows}
+	return tbl.Render()
+}

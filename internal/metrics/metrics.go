@@ -65,6 +65,15 @@ type Collector struct {
 	// Delta holds the channel accounting; embedding promotes the
 	// counter fields (c.Meetings etc.) unchanged.
 	Delta
+
+	// EventsExecuted is the simulation engine's executed-event count for
+	// the run that produced this collector (set by routing.Run; the
+	// simulation service's events-executed telemetry counter). It is
+	// engine bookkeeping, not an outcome: identical outcomes may execute
+	// different event counts (a streamed contact-plan run pumps events a
+	// materialized run schedules upfront), so it is deliberately absent
+	// from Summary and from equivalence fingerprints.
+	EventsExecuted uint64
 }
 
 // New returns an empty collector.
@@ -269,4 +278,5 @@ func (c *Collector) Merge(o *Collector) {
 		c.order = append(c.order, r)
 	}
 	c.Delta.Add(&o.Delta)
+	c.EventsExecuted += o.EventsExecuted
 }

@@ -1,0 +1,219 @@
+package epidemic_test
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"rapid/internal/mobility"
+	"rapid/internal/packet"
+	"rapid/internal/routing"
+	"rapid/internal/routing/epidemic"
+	"rapid/internal/sim"
+	"rapid/internal/trace"
+)
+
+// Compile-time check: epidemic keeps all state in the node buffer, so
+// it must satisfy the parallel engine's SessionConfined contract.
+var _ routing.SessionConfined = (*epidemic.Router)(nil)
+
+// opportunitySpent runs the scenario recording bytes spent per
+// opportunity, keyed by completion time, plus the final network state.
+func opportunitySpent(sc routing.Scenario) (map[float64]int64, *routing.Network) {
+	spent := map[float64]int64{}
+	var final *routing.Network
+	sc.Hooks = &routing.Hooks{
+		OnOpportunityDone: func(a, b packet.NodeID, capacity, sp int64, windowed bool, now float64) {
+			spent[now] += sp
+		},
+		AfterEvent: func(net *routing.Network) { final = net },
+	}
+	routing.Run(sc)
+	return spent, final
+}
+
+// TestSetDifferenceFlooding checks the defining epidemic behavior: a
+// meeting transfers exactly the set difference of the two buffers
+// (minus acked deliveries), so nodes whose buffers already agree
+// exchange nothing.
+func TestSetDifferenceFlooding(t *testing.T) {
+	const size = 100
+	sc := routing.Scenario{
+		Schedule: &trace.Schedule{
+			Duration: 100,
+			Meetings: []trace.Meeting{
+				{A: 0, B: 1, Time: 10, Bytes: 1 << 20},
+				{A: 1, B: 2, Time: 20, Bytes: 1 << 20},
+				{A: 0, B: 2, Time: 30, Bytes: 1 << 20},
+			},
+		},
+		Workload: packet.Workload{
+			// A, B, C flood toward an unreachable destination; D is a
+			// direct delivery 0→1 whose ack must keep it out of later
+			// exchanges.
+			{ID: 1, Src: 0, Dst: 3, Size: size, Created: 1},
+			{ID: 2, Src: 0, Dst: 3, Size: size, Created: 2},
+			{ID: 3, Src: 1, Dst: 3, Size: size, Created: 3},
+			{ID: 4, Src: 0, Dst: 1, Size: size, Created: 4},
+		},
+		Factory: epidemic.New(),
+		Cfg:     routing.Config{Mode: routing.ControlNone},
+		Seed:    1,
+	}
+	spent, net := opportunitySpent(sc)
+
+	// t=10: D delivered direct (100) plus the full exchange A,B→1 and
+	// C→0 (300).
+	if spent[10] != 4*size {
+		t.Errorf("meeting(0,1)@10 spent %d, want %d", spent[10], 4*size)
+	}
+	// t=20: node 1 holds {A,B,C}; node 2 holds nothing.
+	if spent[20] != 3*size {
+		t.Errorf("meeting(1,2)@20 spent %d, want %d", spent[20], 3*size)
+	}
+	// t=30: both buffers already hold {A,B,C} and D is acked at node 0 —
+	// the set difference is empty, so nothing moves.
+	if spent[30] != 0 {
+		t.Errorf("meeting(0,2)@30 spent %d, want 0 (buffers agree)", spent[30])
+	}
+
+	// Every flooding node converged on the union {A,B,C}, without D.
+	for _, id := range []packet.NodeID{0, 1, 2} {
+		store := net.Nodes[id].Store
+		for pid := packet.ID(1); pid <= 3; pid++ {
+			if !store.Has(pid) {
+				t.Errorf("node %d missing flooded packet %d", id, pid)
+			}
+		}
+		if store.Has(4) {
+			t.Errorf("node %d still buffers delivered packet 4", id)
+		}
+	}
+}
+
+// TestFIFODropOldest checks the classic epidemic buffer policy: when a
+// full buffer must accept a new replica, the oldest-received copy is
+// dropped first.
+func TestFIFODropOldest(t *testing.T) {
+	const size = 100
+	sc := routing.Scenario{
+		Schedule: &trace.Schedule{
+			Duration: 100,
+			// 100-byte opportunities deliver exactly one replica each, so
+			// node 1 receives P1, then P2, then P3 in distinct meetings.
+			Meetings: []trace.Meeting{
+				{A: 0, B: 1, Time: 10, Bytes: size},
+				{A: 0, B: 1, Time: 20, Bytes: size},
+				{A: 3, B: 1, Time: 30, Bytes: size},
+			},
+		},
+		Workload: packet.Workload{
+			{ID: 1, Src: 0, Dst: 2, Size: size, Created: 1},
+			{ID: 2, Src: 0, Dst: 2, Size: size, Created: 2},
+			{ID: 3, Src: 3, Dst: 2, Size: size, Created: 3},
+		},
+		Factory: epidemic.New(),
+		// Node 1 holds two replicas at most; accepting the third forces a
+		// drop.
+		Cfg:  routing.Config{Mode: routing.ControlNone, BufferBytes: 2 * size},
+		Seed: 1,
+	}
+	spent, net := opportunitySpent(sc)
+	for _, at := range []float64{10, 20, 30} {
+		if spent[at] != size {
+			t.Fatalf("meeting@%v spent %d, want %d (one replica per contact)", at, spent[at], size)
+		}
+	}
+	store := net.Nodes[1].Store
+	if store.Has(1) {
+		t.Errorf("oldest-received replica 1 survived the forced drop")
+	}
+	for pid := packet.ID(2); pid <= 3; pid++ {
+		if !store.Has(pid) {
+			t.Errorf("replica %d missing after drop-oldest eviction", pid)
+		}
+	}
+}
+
+// TestOldestFirstPlanningAndInventory unit-tests the router surface
+// directly: direct queues and replication plans order by creation time
+// (ID for ties), and inventory advertises unknown (infinite) delay.
+func TestOldestFirstPlanningAndInventory(t *testing.T) {
+	net := routing.NewNetwork(sim.New(1), []packet.NodeID{0, 1, 2}, epidemic.New(), routing.Config{Mode: routing.ControlNone})
+	r := net.Nodes[0].Router
+	// Generate out of creation order, with a creation-time tie between
+	// IDs 9 and 4.
+	for _, p := range []*packet.Packet{
+		{ID: 9, Src: 0, Dst: 1, Size: 10, Created: 5},
+		{ID: 3, Src: 0, Dst: 1, Size: 10, Created: 1},
+		{ID: 4, Src: 0, Dst: 1, Size: 10, Created: 5},
+		{ID: 7, Src: 0, Dst: 2, Size: 10, Created: 0},
+	} {
+		r.Generate(p, p.Created)
+	}
+
+	var gotQueue []packet.ID
+	for _, e := range r.DirectQueue(1, 6) {
+		gotQueue = append(gotQueue, e.P.ID)
+	}
+	if want := []packet.ID{3, 4, 9}; !reflect.DeepEqual(gotQueue, want) {
+		t.Errorf("DirectQueue order %v, want %v", gotQueue, want)
+	}
+
+	var gotPlan []packet.ID
+	for _, e := range r.PlanReplication(net.Nodes[1], 6) {
+		gotPlan = append(gotPlan, e.P.ID)
+	}
+	// Everything not destined to the peer, oldest first.
+	if want := []packet.ID{7}; !reflect.DeepEqual(gotPlan, want) {
+		t.Errorf("PlanReplication %v, want %v", gotPlan, want)
+	}
+
+	inv := r.Inventory(6)
+	if len(inv) != 4 {
+		t.Fatalf("inventory has %d items, want 4", len(inv))
+	}
+	for _, item := range inv {
+		if !math.IsInf(item.Delay, 1) {
+			t.Errorf("inventory delay for %d = %v, want +Inf", item.ID, item.Delay)
+		}
+	}
+}
+
+// TestSessionConfinedParallelEquivalence backs the marker method with
+// behavior: a dense epidemic run must summarize identically on the
+// serial and parallel engines.
+func TestSessionConfinedParallelEquivalence(t *testing.T) {
+	build := func(workers int) routing.Scenario {
+		model := mobility.Exponential{Config: mobility.Config{
+			Nodes: 12, Duration: 400, MeanMeeting: 25, TransferBytes: 4 << 10,
+		}}
+		sched := model.Schedule(rand.New(rand.NewSource(11)))
+		w := packet.Generate(packet.GenConfig{
+			Nodes:                 sched.Nodes(),
+			PacketsPerHourPerDest: 8,
+			LoadWindow:            100,
+			Duration:              400,
+			PacketSize:            512,
+			FirstID:               1,
+		}, rand.New(rand.NewSource(12)))
+		return routing.Scenario{
+			Schedule: sched,
+			Workload: w,
+			Factory:  epidemic.New(),
+			Cfg: routing.Config{
+				BufferBytes: 32 << 10, Mode: routing.ControlInBand,
+				MetaFraction: -1, Workers: workers,
+			},
+			Seed: 5,
+		}
+	}
+	serial := routing.Run(build(1)).Summarize(400)
+	for _, workers := range []int{2, 4} {
+		par := routing.Run(build(workers)).Summarize(400)
+		if !reflect.DeepEqual(serial, par) {
+			t.Errorf("workers=%d summary diverges from serial:\n got %+v\nwant %+v", workers, par, serial)
+		}
+	}
+}

@@ -169,6 +169,17 @@ func (n *Network) transferLost(id packet.ID, from, to packet.NodeID, now float64
 	return true
 }
 
+// generated registers a packet's creation with the collector and fires
+// the telemetry hook. Serial generation paths route through it; the
+// parallel generateEvent calls the collector directly (a hooked run is
+// never parallel).
+func (n *Network) generated(p *packet.Packet, now float64) {
+	n.Collector.Generated(p)
+	if h := n.hooks; h != nil && h.OnGenerated != nil {
+		h.OnGenerated(p, now)
+	}
+}
+
 // Now returns the simulation clock.
 func (n *Network) Now() float64 { return n.Engine.Now() }
 
@@ -278,6 +289,12 @@ type RouterFactory func(id packet.NodeID) Router
 // deliveries, per-opportunity byte spending, and event-granular network
 // state without touching protocol code. All fields may be nil.
 type Hooks struct {
+	// OnGenerated fires when a workload packet enters the network at its
+	// source (right after the collector registers it) — the simulation
+	// service streams these as per-packet telemetry. Like every other
+	// hook it forces the serial engine, so hooked runs stay
+	// byte-identical to unhooked ones.
+	OnGenerated func(p *packet.Packet, now float64)
 	// OnDelivered fires at every physical direct delivery, including
 	// re-deliveries of a packet already delivered through another
 	// replica (legitimate before the ack reaches the extra copies).
@@ -459,7 +476,7 @@ func Run(sc Scenario) *metrics.Collector {
 				continue
 			}
 			engine.ScheduleBandFunc(p.Created, wband, func(e *sim.Engine) {
-				net.Collector.Generated(p)
+				net.generated(p, e.Now())
 				src := net.Node(p.Src)
 				src.Router.Generate(p, e.Now())
 			})
@@ -471,6 +488,7 @@ func Run(sc Scenario) *metrics.Collector {
 		// order matching the materialized path.
 		startPlanPump(engine, net, sc.Plan.Cursor(sc.MergePlanWindows), horizon, par)
 		engine.RunUntil(horizon)
+		net.Collector.EventsExecuted = engine.Executed
 		return net.Collector
 	}
 	// contactIdx indexes the disruption decision streams across the
@@ -564,6 +582,7 @@ func Run(sc Scenario) *metrics.Collector {
 		}
 	}
 	engine.RunUntil(horizon)
+	net.Collector.EventsExecuted = engine.Executed
 	return net.Collector
 }
 
@@ -644,7 +663,7 @@ func startSourcePump(engine *sim.Engine, net *Network, src packet.Source, par bo
 			if par {
 				engine.ScheduleBand(p.Created, bandWorkload, &generateEvent{net: net, p: p})
 			} else {
-				net.Collector.Generated(p)
+				net.generated(p, e.Now())
 				net.Node(p.Src).Router.Generate(p, e.Now())
 			}
 			if pending, ok = src.Next(); !ok {

@@ -1,0 +1,148 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// The build environment has no module proxy, so the service cannot
+// import prometheus/client_golang; instead this file hand-rolls the
+// small slice of the Prometheus text exposition format (version 0.0.4)
+// the service needs: counters, gauges and one fixed-bucket histogram,
+// rendered with # HELP / # TYPE headers in sorted series order so a
+// scrape is deterministic.
+
+// runDurationBuckets are the upper bounds (seconds) of the job
+// run-duration histogram: tiny-scale jobs land in the sub-second
+// buckets, full-scale mega-constellation sweeps in the minutes range.
+var runDurationBuckets = []float64{0.01, 0.05, 0.25, 1, 5, 30, 120, 600, 3600}
+
+// histogram is a fixed-bucket cumulative histogram.
+type histogram struct {
+	bounds []float64
+	counts []uint64 // per finite bucket; +Inf is implicit via total
+	sum    float64
+	total  uint64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]uint64, len(bounds))}
+}
+
+func (h *histogram) observe(v float64) {
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+		}
+	}
+	h.sum += v
+	h.total++
+}
+
+// serviceMetrics is the registry behind GET /metrics. All mutation
+// happens under mu; gauges sampled at scrape time (queue depth, cache
+// state) are passed into render by the caller.
+type serviceMetrics struct {
+	mu sync.Mutex
+	// jobsTotal counts finished jobs by terminal state
+	// (done/failed/cancelled).
+	jobsTotal map[string]uint64
+	// jobsSubmitted counts accepted submissions; rejections (queue
+	// full, draining) count separately.
+	jobsSubmitted uint64
+	jobsRejected  uint64
+	// scenariosRun counts scenario executions completed by this
+	// service, cached or not.
+	scenariosRun uint64
+	// eventsExecuted accumulates sim-engine events from runs whose
+	// collector this service observed (telemetry jobs and direct runs;
+	// cache hits re-run nothing so add nothing).
+	eventsExecuted uint64
+	runDuration    *histogram
+}
+
+func newServiceMetrics() *serviceMetrics {
+	return &serviceMetrics{
+		jobsTotal:   map[string]uint64{stateDone: 0, stateFailed: 0, stateCancelled: 0},
+		runDuration: newHistogram(runDurationBuckets),
+	}
+}
+
+func (m *serviceMetrics) jobFinished(state string, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobsTotal[state]++
+	m.runDuration.observe(seconds)
+}
+
+func (m *serviceMetrics) submitted() { m.mu.Lock(); m.jobsSubmitted++; m.mu.Unlock() }
+func (m *serviceMetrics) rejected()  { m.mu.Lock(); m.jobsRejected++; m.mu.Unlock() }
+func (m *serviceMetrics) scenarioDone(events uint64) {
+	m.mu.Lock()
+	m.scenariosRun++
+	m.eventsExecuted += events
+	m.mu.Unlock()
+}
+
+// gaugeSnapshot carries the instantaneous values sampled by the scrape
+// handler.
+type gaugeSnapshot struct {
+	jobsRunning int
+	jobsQueued  int
+	cacheHits   uint64
+	cacheMisses uint64
+	cacheLen    int
+}
+
+// fmtFloat renders a float the way Prometheus expects (shortest
+// round-trip form).
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// render emits the full exposition. Counter families keep stable label
+// order; everything else is a single unlabeled series.
+func (m *serviceMetrics) render(g gaugeSnapshot) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var b strings.Builder
+
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, fmtFloat(v))
+	}
+
+	fmt.Fprintf(&b, "# HELP simd_jobs_total Finished jobs by terminal state.\n# TYPE simd_jobs_total counter\n")
+	states := make([]string, 0, len(m.jobsTotal))
+	for s := range m.jobsTotal {
+		states = append(states, s)
+	}
+	sort.Strings(states)
+	for _, s := range states {
+		fmt.Fprintf(&b, "simd_jobs_total{state=%q} %d\n", s, m.jobsTotal[s])
+	}
+
+	counter("simd_jobs_submitted_total", "Accepted job submissions.", m.jobsSubmitted)
+	counter("simd_jobs_rejected_total", "Submissions rejected (queue full, draining, invalid).", m.jobsRejected)
+	gauge("simd_jobs_running", "Jobs currently executing.", float64(g.jobsRunning))
+	gauge("simd_jobs_queued", "Jobs waiting in the submission queue.", float64(g.jobsQueued))
+	counter("simd_scenarios_run_total", "Scenario executions completed across all jobs.", m.scenariosRun)
+	counter("simd_events_executed_total", "Simulation-engine events executed by observed runs.", m.eventsExecuted)
+	counter("simd_engine_cache_hits_total", "Experiment-engine summary cache hits.", g.cacheHits)
+	counter("simd_engine_cache_misses_total", "Experiment-engine summary cache misses.", g.cacheMisses)
+	gauge("simd_engine_cache_entries", "Experiment-engine summary cache size.", float64(g.cacheLen))
+
+	fmt.Fprintf(&b, "# HELP simd_run_duration_seconds Wall-clock job run duration.\n# TYPE simd_run_duration_seconds histogram\n")
+	for i, bound := range m.runDuration.bounds {
+		fmt.Fprintf(&b, "simd_run_duration_seconds_bucket{le=%q} %d\n", fmtFloat(bound), m.runDuration.counts[i])
+	}
+	fmt.Fprintf(&b, "simd_run_duration_seconds_bucket{le=\"+Inf\"} %d\n", m.runDuration.total)
+	fmt.Fprintf(&b, "simd_run_duration_seconds_sum %s\n", fmtFloat(m.runDuration.sum))
+	fmt.Fprintf(&b, "simd_run_duration_seconds_count %d\n", m.runDuration.total)
+	return b.String()
+}

@@ -134,8 +134,23 @@ func (h *eventHeap) Pop() any {
 // Handle identifies a scheduled event so it can be cancelled.
 type Handle struct{ it *item }
 
-// Cancel marks the event as dead; it will be skipped when popped.
-// Cancelling an already-executed or already-cancelled event is a no-op.
+// Cancel marks the event as dead; it will not execute and is not
+// counted in Executed. Cancelling an already-executed or
+// already-cancelled event is a no-op.
+//
+// A cancel that fires from a position that serially precedes the
+// target — any event popped earlier while the target is still queued —
+// is exact in both engines: the serial loop skips the target at pop,
+// and the parallel loop's pop check does the same. The parallel loop
+// additionally honors cancels that land after the target was collected
+// into a pending batch but before its wave executes; the intended such
+// channel is an earlier batch-mate's CommitShard cancelling a
+// conflicting (shard-key-sharing) later event, which the serial loop
+// would likewise skip. Cancelling a batch-mate from a position that
+// serially *follows* it (an OnCollect or inline pump popped after the
+// target) violates the CollectEvent/InlineEvent contracts — the serial
+// engine has already run the target — and is suppressed on a
+// best-effort basis only.
 func (h Handle) Cancel() {
 	if h.it != nil {
 		h.it.dead = true
@@ -164,6 +179,7 @@ type Engine struct {
 	workers int
 	planner shard.Planner
 	batch   []*item
+	rank    []int // scratch: wave index per batch item, reused across flushes
 }
 
 // New returns an engine whose named random streams derive from seed.
@@ -375,25 +391,70 @@ func (e *Engine) runParallelUntil(deadline float64, bounded bool) {
 }
 
 // flushBatch executes and commits the pending ShardEvent batch.
+//
+// Cancellation stays live across the flush: an item cancelled after
+// collection — the contract-legal channel is an earlier batch-mate's
+// CommitShard — is skipped in both phases and uncounted from Executed
+// (collection counted it eagerly), exactly as the serial loop skips a
+// dead event at pop. To make that skip effective before the target
+// runs, waves execute one at a time and, between waves, the maximal
+// pop-order prefix of items whose wave has already executed is
+// committed. A conflicting cancel target always plans into a strictly
+// later wave than its canceller, so the canceller's commit — and the
+// cancel — lands before the target's wave phase unless the commit is
+// itself stalled behind an even later-wave pop predecessor. Commits
+// still run serially in exact pop order; running a commit before the
+// waves of later pops is *more* serial-faithful, not less, since the
+// serial loop commits event i before executing any j > i. The dead
+// check inside the wave closure is race-free: dead flags are written
+// on the engine goroutine between waves, and shard.Run's spawn/join
+// orders those writes before the next wave's reads.
 func (e *Engine) flushBatch() {
 	n := len(e.batch)
 	if n == 0 {
 		return
 	}
 	if n == 1 {
-		ev := e.batch[0].ev.(ShardEvent)
-		ev.ExecuteShard(e)
-		ev.CommitShard(e)
+		if it := e.batch[0]; it.dead {
+			e.Executed--
+		} else {
+			ev := it.ev.(ShardEvent)
+			ev.ExecuteShard(e)
+			ev.CommitShard(e)
+		}
 	} else {
 		waves := e.planner.Plan(n, func(i int) (int64, int64) {
 			return e.batch[i].ev.(ShardEvent).ShardKeys()
 		})
-		shard.Run(waves, e.workers, func(i int) {
-			e.batch[i].ev.(ShardEvent).ExecuteShard(e)
-		})
-		for _, it := range e.batch {
-			it.ev.(ShardEvent).CommitShard(e)
+		if cap(e.rank) < n {
+			e.rank = make([]int, n)
 		}
+		rank := e.rank[:n]
+		for w, wave := range waves {
+			for _, i := range wave {
+				rank[i] = w
+			}
+		}
+		committed := 0
+		commitPrefix := func(executedWaves int) {
+			for committed < n && rank[committed] < executedWaves {
+				if it := e.batch[committed]; it.dead {
+					e.Executed--
+				} else {
+					it.ev.(ShardEvent).CommitShard(e)
+				}
+				committed++
+			}
+		}
+		for w := range waves {
+			commitPrefix(w)
+			shard.Run(waves[w:w+1], e.workers, func(i int) {
+				if it := e.batch[i]; !it.dead {
+					it.ev.(ShardEvent).ExecuteShard(e)
+				}
+			})
+		}
+		commitPrefix(len(waves))
 	}
 	for i := range e.batch {
 		e.batch[i] = nil

@@ -142,6 +142,117 @@ func TestParallelCancelledSkipped(t *testing.T) {
 	}
 }
 
+// cancelAtCommit is a cellEvent whose commit phase cancels another
+// scheduled event — the contract-legal way a batch-mate can die after
+// collection. Execute is spelled out because Go embedding is not
+// virtual: cellEvent.Execute would call cellEvent.CommitShard, not
+// ours.
+type cancelAtCommit struct {
+	cellEvent
+	target *Handle
+}
+
+func (ev *cancelAtCommit) Execute(e *Engine) {
+	ev.ExecuteShard(e)
+	ev.CommitShard(e)
+}
+
+func (ev *cancelAtCommit) CommitShard(e *Engine) {
+	ev.cellEvent.CommitShard(e)
+	ev.target.Cancel()
+}
+
+// runCommitCancelMix schedules, at one instant, a canceller whose
+// commit kills a conflicting later event, plus an independent
+// bystander. All three land in one batch under the parallel engine, so
+// the cancelled event is dead only after collection — the exact window
+// the old flushBatch ignored.
+func runCommitCancelMix(workers int) ([]int, []string, uint64) {
+	cells := make([]int, 4)
+	var audit []string
+	e := New(1)
+	e.SetWorkers(workers)
+	canceller := &cancelAtCommit{cellEvent: cellEvent{cells: &cells, audit: &audit, a: 0, b: 1, inc: 3}}
+	e.Schedule(1, canceller)
+	target := e.Schedule(1, &cellEvent{cells: &cells, audit: &audit, a: 1, b: 2, inc: 5})
+	canceller.target = &target
+	e.Schedule(1, &cellEvent{cells: &cells, audit: &audit, a: 3, b: 3, inc: 1})
+	e.Run()
+	return cells, audit, e.Executed
+}
+
+// TestParallelCommitCancelMatchesSerial is the regression test for the
+// flushBatch dead-item bug: a commit-phase cancel of a conflicting
+// batch-mate must suppress both of its phases and its Executed count,
+// exactly as the serial loop skips the dead event at pop. Against the
+// old flushBatch this fails three ways: the target's wave contaminates
+// cells 1 and 2, its commit appends an extra audit line, and Executed
+// counts it.
+func TestParallelCommitCancelMatchesSerial(t *testing.T) {
+	wantCells, wantAudit, wantExec := runCommitCancelMix(1)
+	if wantExec != 2 {
+		t.Fatalf("serial Executed = %d, want 2 (cancelled event uncounted)", wantExec)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		gotCells, gotAudit, gotExec := runCommitCancelMix(workers)
+		if fmt.Sprint(gotCells) != fmt.Sprint(wantCells) {
+			t.Fatalf("workers %d: cells %v, want %v", workers, gotCells, wantCells)
+		}
+		if fmt.Sprint(gotAudit) != fmt.Sprint(wantAudit) {
+			t.Fatalf("workers %d: audit %q, want %q", workers, gotAudit, wantAudit)
+		}
+		if gotExec != wantExec {
+			t.Fatalf("workers %d: Executed %d, want %d", workers, gotExec, wantExec)
+		}
+	}
+}
+
+// TestParallelCollectCancelPending pins the pop check: an OnCollect (or
+// inline) cancel of a same-instant event that has NOT yet been popped
+// is exact in both engines — the target is skipped at pop and never
+// collected.
+func TestParallelCollectCancelPending(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		cells := make([]int, 3)
+		var audit []string
+		e := New(1)
+		e.SetWorkers(workers)
+		var target Handle
+		e.ScheduleBand(1, -1, InlineFunc(func(*Engine) { target.Cancel() }))
+		target = e.Schedule(1, &cellEvent{cells: &cells, audit: &audit, a: 0, b: 1, inc: 7})
+		e.Schedule(1, &cellEvent{cells: &cells, audit: &audit, a: 2, b: 2, inc: 1})
+		e.Run()
+		if cells[0] != 0 || cells[1] != 0 || cells[2] != 1 {
+			t.Fatalf("workers %d: cells %v, want [0 0 1]", workers, cells)
+		}
+		if e.Executed != 2 {
+			t.Fatalf("workers %d: Executed %d, want 2", workers, e.Executed)
+		}
+	}
+}
+
+// TestParallelBatchedCancelSuppressed is the minimal two-event form of
+// the commit-cancel regression: with no bystander in the batch, the
+// cancelled event must still be suppressed in both phases and
+// uncounted.
+func TestParallelBatchedCancelSuppressed(t *testing.T) {
+	cells := make([]int, 3)
+	var audit []string
+	e := New(1)
+	e.SetWorkers(4)
+	canceller := &cancelAtCommit{cellEvent: cellEvent{cells: &cells, audit: &audit, a: 0, b: 0, inc: 1}}
+	e.Schedule(1, canceller)
+	target := e.Schedule(1, &cellEvent{cells: &cells, audit: &audit, a: 0, b: 1, inc: 9})
+	canceller.target = &target
+	e.Run()
+	if cells[0] != 1 || cells[1] != 0 {
+		t.Fatalf("cancelled batch-mate ran: cells %v", cells)
+	}
+	if e.Executed != 1 {
+		t.Fatalf("Executed %d, want 1", e.Executed)
+	}
+}
+
 // TestParallelAfterEventFallsBack pins the gate: an engine with an
 // AfterEvent hook must use the serial loop even when workers are set.
 func TestParallelAfterEventFallsBack(t *testing.T) {

@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# End-to-end smoke for cmd/simd (DESIGN.md §14), run by the CI
+# simd-smoke job and usable locally:
+#
+#   ./scripts/simd_smoke.sh
+#
+# Builds both front ends, boots the service, submits a tiny telemetry
+# family job over HTTP, streams its event log to completion, asserts
+# the service's summary table is byte-identical to the cmd/experiments
+# output for the same family, scrapes /metrics, and finishes with a
+# SIGTERM clean-drain check (the process must exit 0).
+set -euo pipefail
+
+FAMILY=${FAMILY:-synth-exponential}
+ADDR=${ADDR:-127.0.0.1:18080}
+
+workdir=$(mktemp -d)
+simd_pid=""
+cleanup() {
+  [ -n "$simd_pid" ] && kill "$simd_pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$workdir/experiments" ./cmd/experiments
+go build -o "$workdir/simd" ./cmd/simd
+
+echo "== CLI oracle table"
+# Drop the CLI's two-line timing header; the remainder is the rendered
+# summary table the service must reproduce byte for byte.
+"$workdir/experiments" -family "$FAMILY" -scale tiny | tail -n +3 > "$workdir/cli_table.txt"
+
+echo "== boot simd on $ADDR"
+"$workdir/simd" -addr "$ADDR" &
+simd_pid=$!
+for _ in $(seq 1 100); do
+  curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -fsS "http://$ADDR/healthz" >/dev/null
+
+echo "== submit telemetry job"
+job_json=$(curl -fsS -X POST "http://$ADDR/v1/jobs" \
+  -H 'Content-Type: application/json' \
+  -d "{\"family\":\"$FAMILY\",\"scale\":\"tiny\",\"telemetry\":true}")
+job_id=$(printf '%s' "$job_json" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+if [ -z "$job_id" ]; then
+  echo "no job id in response: $job_json" >&2
+  exit 1
+fi
+echo "   $job_id"
+
+echo "== stream events to completion"
+# The server closes the stream after the terminal job_done event.
+curl -fsS -N "http://$ADDR/v1/jobs/$job_id/events" > "$workdir/events.ndjson"
+grep -q '"type":"generated"' "$workdir/events.ndjson"
+grep -q '"type":"scenario_done"' "$workdir/events.ndjson"
+last_event=$(tail -n 1 "$workdir/events.ndjson")
+case "$last_event" in
+  *'"type":"job_done"'*'"state":"done"'*) ;;
+  *) echo "stream did not end with job_done/done: $last_event" >&2; exit 1 ;;
+esac
+echo "   $(wc -l < "$workdir/events.ndjson") events"
+
+echo "== table byte-identity vs cmd/experiments"
+curl -fsS "http://$ADDR/v1/jobs/$job_id/table" > "$workdir/simd_table.txt"
+diff -u "$workdir/cli_table.txt" "$workdir/simd_table.txt"
+
+echo "== metrics"
+curl -fsS "http://$ADDR/metrics" > "$workdir/metrics.txt"
+for series in \
+  'simd_jobs_total{state="done"} 1' \
+  'simd_jobs_submitted_total 1' \
+  'simd_scenarios_run_total' \
+  'simd_events_executed_total' \
+  'simd_run_duration_seconds_count 1'
+do
+  if ! grep -q "^$series" "$workdir/metrics.txt"; then
+    echo "metrics missing: $series" >&2
+    cat "$workdir/metrics.txt" >&2
+    exit 1
+  fi
+done
+
+echo "== SIGTERM drain"
+kill -TERM "$simd_pid"
+if ! wait "$simd_pid"; then
+  echo "simd did not drain cleanly" >&2
+  exit 1
+fi
+simd_pid=""
+echo "simd smoke: OK"
