@@ -1,0 +1,28 @@
+package exp
+
+import "fmt"
+
+// The cgr-policies experiments expose the CGR allocation-policy family
+// (single-copy, k-path, bounded multi-copy, admission, with RAPID as
+// the multi-copy reference) as first-class artifacts: the same FamilyCI
+// reduction `cmd/experiments -family cgr-policies` produces, pinned
+// into the golden-checksum sweep so policy regressions surface in CI.
+
+// cgrPolicies runs the family reduction; the engine's scenario cache
+// makes the second experiment's call nearly free.
+func cgrPolicies(sc Scale) []Output {
+	outs, err := defaultEngine.FamilyCI("cgr-policies", sc, sc.Runs)
+	if err != nil {
+		// Expansion of a registered family cannot fail unless the
+		// registry itself is broken — a programming error.
+		panic(fmt.Sprintf("exp: cgr-policies family: %v", err))
+	}
+	return outs
+}
+
+// CGRPoliciesDelay is the family's average-delay-vs-loss figure plus
+// the aggregate mean ± CI table.
+func CGRPoliciesDelay(sc Scale) Output { return cgrPolicies(sc)[0] }
+
+// CGRPoliciesRate is the family's delivery-rate-vs-loss figure.
+func CGRPoliciesRate(sc Scale) Output { return cgrPolicies(sc)[1] }

@@ -11,6 +11,7 @@ func TestRegistryComplete(t *testing.T) {
 	for i := 4; i <= 24; i++ {
 		want = append(want, "fig"+itoa(i))
 	}
+	want = append(want, "cgr-policies-delay", "cgr-policies-rate")
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments want %d", len(all), len(want))

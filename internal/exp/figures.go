@@ -76,6 +76,8 @@ func All() []Experiment {
 		{"fig22", "Exponential: average delay vs load", Fig22},
 		{"fig23", "Exponential: max delay vs load", Fig23},
 		{"fig24", "Exponential: delivered within deadline vs load", Fig24},
+		{"cgr-policies-delay", "CGR allocation policies: average delay vs loss", CGRPoliciesDelay},
+		{"cgr-policies-rate", "CGR allocation policies: delivery rate vs loss", CGRPoliciesRate},
 	}
 }
 

@@ -8,14 +8,20 @@
 // time-respecting path, reserving per-window capacity and relay buffer
 // headroom as it plans.
 //
-// Forwarding is single-copy with custody transfer: once the planned
-// next hop accepts the packet, the sender drops its copy. When reality
-// diverges from the plan — a window closes before the transfer
+// The planner is parameterized by a Policy, turning the package into a
+// family of allocation strategies benchmarked head-to-head: classic
+// single-copy custody transfer (DefaultPolicy), Yen-style k-alternate
+// paths with widest-within-slack selection (KPaths > 1), bounded
+// multi-copy spreading over window- and relay-disjoint routes
+// (Copies > 1), and GMA-style per-destination source admission
+// (AdmitFraction > 0; arXiv:2102.10314). Whatever the policy, when
+// reality diverges from the plan — a window closes before the transfer
 // completes, radio sharing cuts the effective rate, a relay refuses the
 // copy — custody stays put, the stale route is released (refunding its
-// unused capacity and buffer reservations), and the packet is re-planned
-// from its current custodian at the next opportunity. DESIGN.md §9
-// documents the graph construction and re-planning rules.
+// unused capacity and buffer reservations), and the replica is
+// re-planned from its current custodian at the next opportunity.
+// DESIGN.md §9 documents the graph construction and re-planning rules;
+// §15 the policy extensions.
 package cgr
 
 import (
@@ -39,10 +45,15 @@ type Router struct {
 	arriveByID  map[packet.ID]float64
 }
 
-// New returns a CGR router factory. All routers built by one factory
-// share one planner — a factory must not be reused across runs.
-func New() routing.RouterFactory {
-	pl := newPlanner()
+// New returns a classic (single-copy, single-path) CGR router factory.
+// All routers built by one factory share one planner — a factory must
+// not be reused across runs.
+func New() routing.RouterFactory { return NewPolicy(DefaultPolicy()) }
+
+// NewPolicy returns a CGR router factory running the given allocation
+// policy. The same single-use rule as New applies.
+func NewPolicy(pol Policy) routing.RouterFactory {
+	pl := newPlanner(pol)
 	return func(packet.NodeID) routing.Router {
 		return &Router{pl: pl, arriveByID: make(map[packet.ID]float64)}
 	}
@@ -64,17 +75,24 @@ func (r *Router) PrimeSchedule(s *trace.Schedule, net *routing.Network) {
 	r.pl.prime(s, net)
 }
 
-// Generate implements routing.Router: store the packet (the source is
-// its first custodian) and plan its route immediately.
+// Generate implements routing.Router: admit the packet against the
+// destination's residual-capacity quota (a no-op outside the admission
+// arm — rejected packets are never stored), store it (the source is its
+// first custodian), and plan its initial routes — one, or up to Copies
+// disjoint ones under the multi-copy arm.
 func (r *Router) Generate(p *packet.Packet, now float64) {
+	if !r.pl.admitAllowed(p, now) {
+		return
+	}
 	if !r.node.Store.Insert(&buffer.Entry{P: p, ReceivedAt: now, Own: true}, nil) {
 		return
 	}
-	r.pl.routeFor(p, r.node.ID, now, rankGenerated)
+	r.pl.admit(p)
+	r.pl.spread(p, r.node.ID, now)
 }
 
 // Inventory implements routing.Router. CGR runs no metadata channel:
-// the contact plan is shared a priori, and single-copy custody makes
+// the contact plan is shared a priori, and bounded custody makes
 // replica inventories moot.
 func (r *Router) Inventory(now float64) []control.InventoryItem { return nil }
 
@@ -94,7 +112,7 @@ func (r *Router) DirectQueue(peer packet.NodeID, now float64) []*buffer.Entry {
 // planned next hop traverses the live contact to this peer, earliest
 // planned delivery first. Packets with stale routes (missed or cut-off
 // windows) are re-planned here; packets routed through other contacts
-// are withheld — single-copy forwarding never hedges.
+// are withheld — bounded custody never hedges beyond its copy budget.
 func (r *Router) PlanReplication(peer *routing.Node, now float64) []*buffer.Entry {
 	out := r.planScratch[:0]
 	clear(r.arriveByID)
@@ -109,17 +127,23 @@ func (r *Router) PlanReplication(peer *routing.Node, now float64) []*buffer.Entr
 		if e.P.Dst == peer.ID {
 			continue // Step 2's direct queue owns these
 		}
-		rt := r.pl.routeFor(e.P, r.node.ID, now, r0)
-		if rt == nil {
+		matched := false
+		var bestAt float64
+		for _, rt := range r.pl.executable(e.P, r.node.ID, now, r0) {
+			h := rt.hops[rt.next]
+			w := &r.pl.windows[h.win]
+			if h.to != peer.ID || now < w.start-timeEps || now > w.end+timeEps {
+				continue // planned through a different contact
+			}
+			if !matched || rt.arriveAt() < bestAt {
+				matched, bestAt = true, rt.arriveAt()
+			}
+		}
+		if !matched {
 			continue
 		}
-		h := rt.hops[rt.next]
-		w := &r.pl.windows[h.win]
-		if h.to != peer.ID || now < w.start-timeEps || now > w.end+timeEps {
-			continue // planned through a different contact
-		}
 		out = append(out, e)
-		r.arriveByID[e.P.ID] = rt.arriveAt()
+		r.arriveByID[e.P.ID] = bestAt
 	}
 	sort.Slice(out, func(i, j int) bool {
 		ai, aj := r.arriveByID[out[i].P.ID], r.arriveByID[out[j].P.ID]
@@ -134,8 +158,9 @@ func (r *Router) PlanReplication(peer *routing.Node, now float64) []*buffer.Entr
 
 // Accept implements routing.Router: take custody. The insert is
 // headroom-checked by the store; on success the planner advances the
-// route and drops the sender's copy. On refusal custody stays with the
-// sender, whose now-stale route re-plans at its next contact.
+// matching route and settles the sender's copy. On refusal custody
+// stays with the sender, whose now-stale route re-plans at its next
+// contact.
 func (r *Router) Accept(e *buffer.Entry, from packet.NodeID, now float64) bool {
 	if !r.node.Store.Insert(e, nil) {
 		return false
@@ -145,7 +170,8 @@ func (r *Router) Accept(e *buffer.Entry, from packet.NodeID, now float64) bool {
 }
 
 // OnDelivered implements routing.DeliveryObserver: release the
-// delivered packet's remaining capacity and buffer reservations.
+// delivered packet's remaining reservations and sweep surviving
+// replicas.
 func (r *Router) OnDelivered(id packet.ID, now float64) {
 	r.pl.delivered(id)
 }

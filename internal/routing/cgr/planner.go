@@ -55,62 +55,135 @@ type hop struct {
 	depart, arrive float64
 }
 
-// route is one packet's planned path. next indexes the first
-// untraversed hop; hops before it have already moved custody. size is
-// the packet size the route's reservations were taken at.
+// route is one replica's planned path. next indexes the first
+// untraversed hop; hops before it have already moved custody. holder is
+// the node currently holding this replica (hops[next-1].to once any hop
+// has executed, the planning node before that). size is the packet size
+// the route's reservations were taken at.
 type route struct {
-	hops []hop
-	next int
-	size int64
+	hops   []hop
+	next   int
+	holder packet.NodeID
+	size   int64
 }
 
 // arriveAt returns the planned delivery instant.
 func (r *route) arriveAt() float64 { return r.hops[len(r.hops)-1].arrive }
 
 // reservation records planned buffer occupancy of one packet at one
-// node over its custody interval.
+// node over its custody interval. rt ties it to the route that took it,
+// so multi-copy release refunds per route, not per packet.
 type reservation struct {
 	id       packet.ID
+	rt       *route
 	from, to float64
 	bytes    int64
 }
 
+// tryKey scopes the re-plan throttle to one replica's custodian: in
+// multi-copy operation two custodians of the same packet may both plan
+// at one instant, and one's failure must not silence the other.
+type tryKey struct {
+	id   packet.ID
+	node packet.NodeID
+}
+
+// banSet is the exclusion set threaded through plan(): window indices
+// and relay nodes a candidate path must avoid. Sets chain through
+// parent so composing Yen spur bans on top of the copy-disjointness
+// base needs no map copying. The destination is never banned — checks
+// skip it explicitly. A nil *banSet bans nothing.
+type banSet struct {
+	parent *banSet
+	wins   map[int]bool
+	nodes  map[packet.NodeID]bool
+}
+
+func (b *banSet) winBanned(wi int) bool {
+	for s := b; s != nil; s = s.parent {
+		if s.wins[wi] {
+			return true
+		}
+	}
+	return false
+}
+
+func (b *banSet) nodeBanned(n packet.NodeID) bool {
+	for s := b; s != nil; s = s.parent {
+		if s.nodes[n] {
+			return true
+		}
+	}
+	return false
+}
+
 // Planner is the shared contact-graph state of one run: the expanded
 // windows, per-window residual capacity, per-node planned buffer
-// reservations, and every packet's current route and custodian. All of
+// reservations, and every packet's live routes and custodians. All of
 // a run's CGR routers share one Planner; the simulator is
 // single-threaded, so no locking.
 type Planner struct {
+	pol     Policy
 	windows []window
 	byNode  map[packet.NodeID][]int // window indices touching the node, start-sorted
 	nodes   map[packet.NodeID]*routing.Node
 	capFor  func(packet.NodeID) int64 // <= 0: unlimited
-	routes  map[packet.ID]*route
-	resv    map[packet.NodeID][]reservation
+	// routes holds each packet's live replica routes, creation-ordered;
+	// at most pol.Copies entries per packet.
+	routes map[packet.ID][]*route
+	resv   map[packet.NodeID][]reservation
 	// lastTry throttles re-planning of currently unroutable packets to
-	// once per simulation instant.
-	lastTry map[packet.ID]float64
-	primed  bool
+	// once per simulation instant per custodian.
+	lastTry map[tryKey]float64
+	// finished marks delivered packets so a replica still in flight when
+	// delivery happened elsewhere is dropped instead of re-planned.
+	finished map[packet.ID]bool
+	primed   bool
+
+	// Admission ledger (pol.AdmitFraction > 0 only): bytes admitted and
+	// not yet delivered or expired, per destination.
+	admitted map[packet.NodeID][]admEntry
+	admBytes map[packet.NodeID]int64
+	admDst   map[packet.ID]packet.NodeID
 
 	// Dijkstra scratch, reused across plans.
 	dist map[packet.NodeID]float64
 	rank map[packet.NodeID]int
 	prev map[packet.NodeID]hop
 	done map[packet.NodeID]bool
+
+	execScratch []*route
 }
 
-func newPlanner() *Planner {
-	return &Planner{
-		byNode:  make(map[packet.NodeID][]int),
-		nodes:   make(map[packet.NodeID]*routing.Node),
-		routes:  make(map[packet.ID]*route),
-		resv:    make(map[packet.NodeID][]reservation),
-		lastTry: make(map[packet.ID]float64),
-		dist:    make(map[packet.NodeID]float64),
-		rank:    make(map[packet.NodeID]int),
-		prev:    make(map[packet.NodeID]hop),
-		done:    make(map[packet.NodeID]bool),
+// admEntry is one admitted packet's outstanding claim toward its
+// destination. deadline (absolute; 0 = none) lets the ledger expire
+// claims of packets that died undelivered.
+type admEntry struct {
+	id       packet.ID
+	bytes    int64
+	deadline float64
+}
+
+func newPlanner(pol Policy) *Planner {
+	pl := &Planner{
+		pol:      pol.normalized(),
+		byNode:   make(map[packet.NodeID][]int),
+		nodes:    make(map[packet.NodeID]*routing.Node),
+		routes:   make(map[packet.ID][]*route),
+		resv:     make(map[packet.NodeID][]reservation),
+		lastTry:  make(map[tryKey]float64),
+		finished: make(map[packet.ID]bool),
+		dist:     make(map[packet.NodeID]float64),
+		rank:     make(map[packet.NodeID]int),
+		prev:     make(map[packet.NodeID]hop),
+		done:     make(map[packet.NodeID]bool),
 	}
+	if pl.pol.AdmitFraction > 0 {
+		pl.admitted = make(map[packet.NodeID][]admEntry)
+		pl.admBytes = make(map[packet.NodeID]int64)
+		pl.admDst = make(map[packet.ID]packet.NodeID)
+	}
+	return pl
 }
 
 // prime builds the contact graph from the expanded schedule: one window
@@ -255,7 +328,10 @@ func sameInstant(a, b float64) bool { return math.Abs(a-b) <= timeEps }
 
 // plan runs earliest-arrival Dijkstra over the time-expanded contact
 // graph for packet p held at `from` since `now`, with custody rank r0
-// ordering the origin against same-instant events. Edge feasibility:
+// ordering the origin against same-instant events. ban excludes windows
+// and relay nodes (never the destination) — the Yen spur search and the
+// multi-copy disjointness rule both thread exclusions through it; nil
+// bans nothing. Edge feasibility:
 //
 //   - residual Rate×Duration capacity ≥ the packet size;
 //   - a point meeting must not have executed yet: strictly later than
@@ -271,7 +347,7 @@ func sameInstant(a, b float64) bool { return math.Abs(a-b) <= timeEps }
 // Labels are (arrival, rank) lexicographic — for equal arrivals a
 // lower rank dominates. Returns nil when the destination is
 // unreachable under those constraints.
-func (pl *Planner) plan(p *packet.Packet, from packet.NodeID, now float64, r0 int) *route {
+func (pl *Planner) plan(p *packet.Packet, from packet.NodeID, now float64, r0 int, ban *banSet) *route {
 	dist, rank, prev, done := pl.dist, pl.rank, pl.prev, pl.done
 	clear(dist)
 	clear(rank)
@@ -292,12 +368,18 @@ func (pl *Planner) plan(p *packet.Packet, from packet.NodeID, now float64, r0 in
 		}
 		t, tr := dist[u], rank[u]
 		for _, wi := range pl.byNode[u] {
+			if ban.winBanned(wi) {
+				continue
+			}
 			w := &pl.windows[wi]
 			v := w.b
 			if v == u {
 				v = w.a
 			}
 			if done[v] || w.residual < p.Size {
+				continue
+			}
+			if v != p.Dst && ban.nodeBanned(v) {
 				continue
 			}
 			var at float64
@@ -346,30 +428,52 @@ func (pl *Planner) plan(p *packet.Packet, from packet.NodeID, now float64, r0 in
 	return &route{hops: hops}
 }
 
-// commit reserves the route's resources: residual capacity on every
-// window it traverses, and buffer headroom at every intermediate node
-// over its planned custody interval.
-func (pl *Planner) commit(p *packet.Packet, r *route) {
+// banFor builds the copy-disjointness exclusion set for a new route of
+// the packet: every window and every node its other live routes touch.
+// Replicas must be capacity-disjoint (no shared window — they would
+// compete for the same reserved bytes) and relay-disjoint (the store is
+// keyed by packet ID, so a node can never hold two copies); only source
+// and destination may be shared. Returns nil — ban nothing — when the
+// packet has no live routes, which keeps the single-copy arm on the
+// exact classic code path.
+func (pl *Planner) banFor(id packet.ID) *banSet {
+	rs := pl.routes[id]
+	if len(rs) == 0 {
+		return nil
+	}
+	b := &banSet{wins: make(map[int]bool), nodes: make(map[packet.NodeID]bool)}
+	for _, r := range rs {
+		b.nodes[r.holder] = true
+		for _, h := range r.hops {
+			b.wins[h.win] = true
+			b.nodes[h.from] = true
+			b.nodes[h.to] = true
+		}
+	}
+	return b
+}
+
+// commit reserves a route's resources for packet p held at holder:
+// residual capacity on every window it traverses, and buffer headroom
+// at every intermediate node over its planned custody interval.
+func (pl *Planner) commit(p *packet.Packet, r *route, holder packet.NodeID) {
 	r.size = p.Size
+	r.holder = holder
 	for i, h := range r.hops {
 		pl.windows[h.win].residual -= p.Size
 		if i+1 < len(r.hops) {
 			pl.resv[h.to] = append(pl.resv[h.to], reservation{
-				id: p.ID, from: h.arrive, to: r.hops[i+1].arrive, bytes: p.Size,
+				id: p.ID, rt: r, from: h.arrive, to: r.hops[i+1].arrive, bytes: p.Size,
 			})
 		}
 	}
-	pl.routes[p.ID] = r
+	pl.routes[p.ID] = append(pl.routes[p.ID], r)
 }
 
-// release refunds the untraversed remainder of a packet's route —
+// releaseRoute refunds the untraversed remainder of one route —
 // residual capacity of hops not yet executed and every buffer
-// reservation — and forgets the route. Safe to call with no route.
-func (pl *Planner) release(id packet.ID) {
-	r := pl.routes[id]
-	if r == nil {
-		return
-	}
+// reservation it took — and forgets it.
+func (pl *Planner) releaseRoute(id packet.ID, r *route) {
 	for i := r.next; i < len(r.hops); i++ {
 		pl.windows[r.hops[i].win].residual += r.size
 	}
@@ -383,7 +487,7 @@ func (pl *Planner) release(id packet.ID) {
 		}
 		out := list[:0]
 		for _, rv := range list {
-			if rv.id != id {
+			if rv.rt != r {
 				out = append(out, rv)
 			}
 		}
@@ -393,11 +497,29 @@ func (pl *Planner) release(id packet.ID) {
 			pl.resv[h.to] = out
 		}
 	}
-	delete(pl.routes, id)
+	list := pl.routes[id]
+	out := list[:0]
+	for _, o := range list {
+		if o != r {
+			out = append(out, o)
+		}
+	}
+	if len(out) == 0 {
+		delete(pl.routes, id)
+	} else {
+		pl.routes[id] = out
+	}
 }
 
-// fresh reports whether the packet's planned next hop is still
-// executable from node at the current clock: the packet is where the
+// release drops every live route of the packet. Safe with none.
+func (pl *Planner) release(id packet.ID) {
+	for len(pl.routes[id]) > 0 {
+		pl.releaseRoute(id, pl.routes[id][0])
+	}
+}
+
+// fresh reports whether the route's planned next hop is still
+// executable from node at the current clock: the replica is where the
 // plan says it is and the hop's window has not closed. A window cut
 // short by radio sharing or closed before the transfer completed shows
 // up here as a stale route.
@@ -409,47 +531,228 @@ func (pl *Planner) fresh(r *route, node packet.NodeID, now float64) bool {
 	return h.from == node && pl.windows[h.win].end >= now-timeEps
 }
 
-// routeFor returns a currently-executable route for the packet held at
-// node, re-planning (and re-reserving) when the existing one is stale
-// or missing. r0 is the custody rank of the calling event
-// (rankGenerated at creation; liveWindow-1 during a contact). Returns
-// nil when no feasible route exists at this instant; retries are
-// throttled to once per simulation time.
-func (pl *Planner) routeFor(p *packet.Packet, node packet.NodeID, now float64, r0 int) *route {
-	if r := pl.routes[p.ID]; pl.fresh(r, node, now) {
-		return r
-	}
-	if last, tried := pl.lastTry[p.ID]; tried && last == now && pl.routes[p.ID] == nil {
+// executable returns the currently-executable routes of the packet's
+// replica held at node, re-planning stale ones (and giving a routeless
+// replica one route, copy budget permitting). r0 is the custody rank of
+// the calling event (rankGenerated at creation; liveWindow-1 during a
+// contact). Returns a scratch slice valid until the next call; empty
+// when no feasible route exists at this instant — retries are throttled
+// to once per simulation time per custodian. With Copies == 1 and
+// KPaths == 1 this is exactly classic routeFor.
+func (pl *Planner) executable(p *packet.Packet, node packet.NodeID, now float64, r0 int) []*route {
+	if pl.finished[p.ID] {
 		return nil
 	}
-	pl.lastTry[p.ID] = now
-	pl.release(p.ID)
-	r := pl.plan(p, node, now, r0)
-	if r == nil {
+	out := pl.execScratch[:0]
+	stale := 0
+	held := 0
+	for _, r := range pl.routes[p.ID] {
+		if r.holder != node {
+			continue
+		}
+		held++
+		if pl.fresh(r, node, now) {
+			out = append(out, r)
+		} else {
+			stale++
+		}
+	}
+	if held > 0 && stale == 0 {
+		pl.execScratch = out
+		return out
+	}
+	k := tryKey{id: p.ID, node: node}
+	if last, tried := pl.lastTry[k]; tried && last == now && held == 0 {
 		return nil
 	}
-	pl.commit(p, r)
-	return r
+	pl.lastTry[k] = now
+	for {
+		var victim *route
+		for _, r := range pl.routes[p.ID] {
+			if r.holder == node && !pl.fresh(r, node, now) {
+				victim = r
+				break
+			}
+		}
+		if victim == nil {
+			break
+		}
+		pl.releaseRoute(p.ID, victim)
+	}
+	// Replace what was released; a replica with no route gets one
+	// attempt. The copy budget bounds the total either way.
+	plans := stale
+	if held == 0 {
+		plans = 1
+	}
+	for i := 0; i < plans && len(pl.routes[p.ID]) < pl.pol.Copies; i++ {
+		r := pl.planBest(p, node, now, r0)
+		if r == nil {
+			break
+		}
+		pl.commit(p, r, node)
+		out = append(out, r)
+	}
+	pl.execScratch = out
+	return out
 }
 
-// transferred records a completed custody transfer: the route advances
-// past the executed hop and the sender's copy is dropped (single-copy
-// forwarding — the receiver is the custodian now). An off-plan transfer
-// discards the route; the next contact re-plans from the new custodian.
+// spread plans the packet's initial routes at its source: one for the
+// single-copy policies, up to Copies mutually window- and relay-
+// disjoint routes for the bounded multi-copy arm (fewer when the graph
+// has no further disjoint path — the budget is a cap, not a quota).
+func (pl *Planner) spread(p *packet.Packet, node packet.NodeID, now float64) {
+	pl.lastTry[tryKey{id: p.ID, node: node}] = now
+	for len(pl.routes[p.ID]) < pl.pol.Copies {
+		r := pl.planBest(p, node, now, rankGenerated)
+		if r == nil {
+			return
+		}
+		pl.commit(p, r, node)
+	}
+}
+
+// transferred records a completed custody transfer: the matching route
+// advances past the executed hop and its holder moves to the receiver.
+// The sender drops its copy unless another route still starts there
+// (the source of a multi-copy spread keeps custody while replicas
+// remain). An off-plan transfer discards every route; the next contact
+// re-plans from the new custodian.
 func (pl *Planner) transferred(id packet.ID, from, to packet.NodeID) {
-	r := pl.routes[id]
-	if r != nil && r.next < len(r.hops) && r.hops[r.next].from == from && r.hops[r.next].to == to {
-		r.next++
-	} else {
+	if pl.finished[id] {
+		// A replica of an already-delivered packet was in flight when
+		// delivery happened elsewhere: drop both ends.
+		if n := pl.nodes[from]; n != nil {
+			n.Store.Remove(id)
+		}
+		if n := pl.nodes[to]; n != nil {
+			n.Store.Remove(id)
+		}
+		return
+	}
+	matched := false
+	for _, r := range pl.routes[id] {
+		if r.holder == from && r.next < len(r.hops) && r.hops[r.next].from == from && r.hops[r.next].to == to {
+			r.next++
+			r.holder = to
+			matched = true
+			break
+		}
+	}
+	if !matched {
 		pl.release(id)
 	}
-	if n := pl.nodes[from]; n != nil {
-		n.Store.Remove(id)
+	still := false
+	for _, r := range pl.routes[id] {
+		if r.holder == from {
+			still = true
+			break
+		}
+	}
+	if !still {
+		if n := pl.nodes[from]; n != nil {
+			n.Store.Remove(id)
+		}
 	}
 }
 
-// delivered releases everything the packet still holds.
+// delivered releases everything the packet still holds and sweeps the
+// surviving replicas out of their custodians' stores — the packet is
+// done, so stray copies must stop consuming buffer and planning effort.
+// Replicas in flight at this instant are caught by the finished mark
+// when their transfer completes. Idempotent (delivery observers fire on
+// both session ends).
 func (pl *Planner) delivered(id packet.ID) {
+	for _, r := range pl.routes[id] {
+		if n := pl.nodes[r.holder]; n != nil {
+			n.Store.Remove(id)
+		}
+	}
 	pl.release(id)
-	delete(pl.lastTry, id)
+	pl.finished[id] = true
+	pl.settleAdmitted(id)
+}
+
+// admitAllowed implements the GMA-style source admission rule: the
+// bytes already admitted toward p.Dst (and not yet delivered or
+// expired) plus this packet must fit within AdmitFraction of the
+// residual capacity of the destination's remaining access windows. The
+// view is conservative — packets with committed routes count against
+// both the ledger and the residual they reserved — but it is exactly
+// the planner's own capacity signal, needs no extra message exchange,
+// and keeps throttling even when re-plans fail and no reservation
+// exists. Always true when admission is off.
+func (pl *Planner) admitAllowed(p *packet.Packet, now float64) bool {
+	if pl.pol.AdmitFraction <= 0 {
+		return true
+	}
+	pl.pruneAdmitted(p.Dst, now)
+	var capacity int64
+	for _, wi := range pl.byNode[p.Dst] {
+		if w := &pl.windows[wi]; w.end >= now-timeEps {
+			capacity += w.residual
+		}
+	}
+	budget := int64(pl.pol.AdmitFraction * float64(capacity))
+	return pl.admBytes[p.Dst]+p.Size <= budget
+}
+
+// admit records an accepted packet in the admission ledger.
+func (pl *Planner) admit(p *packet.Packet) {
+	if pl.pol.AdmitFraction <= 0 {
+		return
+	}
+	pl.admitted[p.Dst] = append(pl.admitted[p.Dst], admEntry{id: p.ID, bytes: p.Size, deadline: p.Deadline})
+	pl.admBytes[p.Dst] += p.Size
+	pl.admDst[p.ID] = p.Dst
+}
+
+// pruneAdmitted expires ledger claims whose packets' deadlines have
+// passed — they will never be delivered, and holding their claim would
+// choke the destination's quota forever.
+func (pl *Planner) pruneAdmitted(dst packet.NodeID, now float64) {
+	list, ok := pl.admitted[dst]
+	if !ok {
+		return
+	}
+	out := list[:0]
+	for _, e := range list {
+		if e.deadline > 0 && now >= e.deadline {
+			pl.admBytes[dst] -= e.bytes
+			delete(pl.admDst, e.id)
+			continue
+		}
+		out = append(out, e)
+	}
+	if len(out) == 0 {
+		delete(pl.admitted, dst)
+	} else {
+		pl.admitted[dst] = out
+	}
+}
+
+// settleAdmitted clears a delivered packet's ledger claim.
+func (pl *Planner) settleAdmitted(id packet.ID) {
+	if pl.admDst == nil {
+		return
+	}
+	dst, ok := pl.admDst[id]
+	if !ok {
+		return
+	}
+	delete(pl.admDst, id)
+	list := pl.admitted[dst]
+	out := list[:0]
+	for _, e := range list {
+		if e.id == id {
+			pl.admBytes[dst] -= e.bytes
+			continue
+		}
+		out = append(out, e)
+	}
+	if len(out) == 0 {
+		delete(pl.admitted, dst)
+	} else {
+		pl.admitted[dst] = out
+	}
 }

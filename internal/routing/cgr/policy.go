@@ -1,0 +1,75 @@
+package cgr
+
+// Policy selects the planner's allocation strategy. The zero value is
+// NOT valid — use DefaultPolicy (classic single-copy, single-path CGR)
+// or one of the named arm constructors in scenario wiring; NewPolicy
+// normalizes out-of-range fields.
+//
+// The three extensions compose but are exercised as separate benchmark
+// arms so the family isolates each policy's contribution:
+//
+//   - KPaths > 1 turns route selection into a Yen-style k-alternate
+//     search over the contact graph. Alternates are pruned by the same
+//     residual-capacity and buffer-headroom feasibility rules as the
+//     best path; among alternates arriving within DelaySlack of the
+//     earliest, the widest (largest bottleneck residual) wins, trading
+//     a bounded delay increase for congestion avoidance (Alhajj &
+//     Corlay, arXiv:2410.15546).
+//   - Copies > 1 bounds multi-copy spreading: the source commits up to
+//     Copies routes whose windows and relay nodes are mutually
+//     disjoint, so replicas never compete for the same reserved
+//     capacity and no node ever holds two copies (the store is keyed
+//     by packet ID). Custody advances per route; delivery sweeps the
+//     surviving replicas.
+//   - AdmitFraction > 0 enables GMA-style source admission (Pareto-
+//     optimal distributed rate allocation, arXiv:2102.10314): a packet
+//     is admitted only while the bytes already in flight toward its
+//     destination fit within AdmitFraction of the residual capacity of
+//     the destination's remaining contact windows. Rejected packets
+//     are never stored — injection is rate-limited at the source from
+//     the planner's residual-capacity view.
+type Policy struct {
+	// KPaths is the number of alternate contact paths examined per
+	// (re-)plan; 1 reproduces single-path earliest-arrival CGR exactly.
+	KPaths int
+	// DelaySlack is the relative detour budget for widest-path
+	// selection: an alternate qualifies when its arrival is within
+	// (1+DelaySlack)× the earliest alternative's in-flight time.
+	DelaySlack float64
+	// Copies caps the simultaneous replicas per packet (L); 1 keeps
+	// single-copy custody transfer.
+	Copies int
+	// AdmitFraction > 0 enables admission control; it is the fraction
+	// of the destination's residual access capacity that may be
+	// outstanding toward it at once.
+	AdmitFraction float64
+}
+
+// Per-arm defaults used by the scenario protocol registrations.
+const (
+	DefaultKPaths        = 4
+	DefaultDelaySlack    = 0.5
+	DefaultCopies        = 3
+	DefaultAdmitFraction = 1.0
+)
+
+// DefaultPolicy is classic CGR: single path, single copy, no
+// admission control.
+func DefaultPolicy() Policy { return Policy{KPaths: 1, Copies: 1} }
+
+// normalized clamps nonsensical values to the classic-CGR baseline.
+func (p Policy) normalized() Policy {
+	if p.KPaths < 1 {
+		p.KPaths = 1
+	}
+	if p.Copies < 1 {
+		p.Copies = 1
+	}
+	if p.DelaySlack < 0 {
+		p.DelaySlack = 0
+	}
+	if p.AdmitFraction < 0 {
+		p.AdmitFraction = 0
+	}
+	return p
+}

@@ -110,12 +110,21 @@ func TestProtocolInvariants(t *testing.T) {
 	}
 }
 
-// allowZeroDelivery: single-copy plan-ahead CGR under contact jitter
-// legitimately delivers nothing — every live contact misses its planned
-// instant, so the router withholds custody rather than hedge. All
-// other (family, protocol) points must deliver traffic.
+// allowZeroDelivery: plan-ahead CGR under contact jitter legitimately
+// delivers nothing — every live contact misses its planned instant, so
+// the router withholds custody rather than hedge. The policy arms
+// (k-path, bounded multi-copy, admission) plan from the same contact
+// graph and inherit the exemption. All other (family, protocol) points
+// must deliver traffic.
 func allowZeroDelivery(s scenario.Scenario) bool {
-	return s.Protocol == scenario.ProtoCGR && s.Disruption.JitterSec > 0
+	if s.Disruption.JitterSec <= 0 {
+		return false
+	}
+	switch s.Protocol {
+	case scenario.ProtoCGR, scenario.ProtoCGRK, scenario.ProtoCGRMulti, scenario.ProtoCGRAdmit:
+		return true
+	}
+	return false
 }
 
 func checkInvariants(t *testing.T, s scenario.Scenario) {

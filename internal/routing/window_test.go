@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"rapid/internal/core"
+	"rapid/internal/disrupt"
 	"rapid/internal/mobility"
 	"rapid/internal/packet"
 	"rapid/internal/routing"
@@ -235,5 +236,67 @@ func TestGlobalChannelSyncsWithZeroMetaFraction(t *testing.T) {
 	if capped, uncapped := run(0), run(-1); !reflect.DeepEqual(capped, uncapped) {
 		t.Errorf("zero MetaFraction silently disabled the global snapshot sync:\nfrac=0:  %+v\nfrac=-1: %+v",
 			capped, uncapped)
+	}
+}
+
+// TestChurnAtWindowOpen: a windowed contact whose endpoint is down at
+// the open instant never establishes — openWindow returns nil before
+// touching any radio-sharing state — so the pre-scheduled close event
+// must be a no-op: no OnOpportunityDone for the dead window and no
+// load underflow distorting the rate of a later window on the same
+// pair (regression test for the never-established-window path).
+func TestChurnAtWindowOpen(t *testing.T) {
+	const horizon = 200.0
+	spec := disrupt.Spec{Enabled: true, ChurnDownMean: 30, ChurnUpMean: 30}
+	up := func(m *disrupt.Model, node packet.NodeID, from, to float64) bool {
+		for _, iv := range m.DownIntervals(node, horizon) {
+			if iv.Start < to && from < iv.End {
+				return false
+			}
+		}
+		return true
+	}
+	// Search the deterministic churn streams for a seed that takes node
+	// 1 down exactly across the first window's open while both nodes
+	// stay up for the whole second window.
+	var seed uint64
+	for s := uint64(1); s < 100000; s++ {
+		m := disrupt.New(spec, s)
+		if m.Down(1, 50, horizon) && up(m, 1, 100, 150) && up(m, 0, 50, 150) {
+			seed = s
+			break
+		}
+	}
+	if seed == 0 {
+		t.Fatal("no churn seed takes node 1 down at the first window's open")
+	}
+
+	w := packet.Workload{{ID: 1, Src: 0, Dst: 1, Size: 500, Created: 10}}
+	sc := windowPair(w,
+		trace.Contact{A: 0, B: 1, Start: 50, Duration: 10, RateBps: 100},
+		trace.Contact{A: 0, B: 1, Start: 100, Duration: 10, RateBps: 100})
+	sc.Disrupt = spec
+	sc.DisruptSeed = seed
+	var oppDone int
+	sc.Hooks = &routing.Hooks{
+		OnOpportunityDone: func(a, b packet.NodeID, capacity, spent int64, windowed bool, now float64) {
+			oppDone++
+			if now < 100 {
+				t.Errorf("opportunity-done fired at t=%v for the never-established window", now)
+			}
+		},
+	}
+	s := routing.Run(sc).Summarize(horizon)
+	if oppDone != 1 {
+		t.Errorf("opportunity-done fired %d times, want 1 (second window only)", oppDone)
+	}
+	if s.Delivered != 1 {
+		t.Fatalf("delivered=%d want 1 (via the second window)", s.Delivered)
+	}
+	// 500 B at 100 B/s from the second window's open: completes at
+	// t=105; created at 10 → delay 95. A load underflow from the dead
+	// window would inflate the effective rate and shift this.
+	if s.AvgDelay != 95 {
+		t.Errorf("delay=%v want 95 (second-window serialization at the full rate)", s.AvgDelay)
 	}
 }

@@ -76,6 +76,40 @@ func TestCGRFamilyBracketsBaselinesAndOracle(t *testing.T) {
 		generated, oracleDelivered, cgrDelivered, delivered)
 }
 
+// TestCGRPolicyArmsNoPristineRegression pins the allocation-policy
+// arms to the classic baseline on a pristine (disruption-free)
+// constellation grid: a policy that helps under loss must not cost
+// deliveries when the plan holds — k-path only detours within its
+// slack onto feasible alternates, multi-copy only adds disjoint
+// replicas, and admission only refuses traffic the capacity view says
+// cannot fit.
+func TestCGRPolicyArmsNoPristineRegression(t *testing.T) {
+	p := cgrFamilyParams()
+	p.Protocols = []Proto{ProtoCGR, ProtoCGRK, ProtoCGRMulti, ProtoCGRAdmit}
+	scs, err := Expand("cgr-constellation", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := map[Proto]int{}
+	for _, s := range scs {
+		sum := s.Summary()
+		if sum.Generated == 0 {
+			t.Fatalf("%s: empty workload", s.Protocol)
+		}
+		delivered[s.Protocol] = sum.Delivered
+	}
+	base := delivered[ProtoCGR]
+	if base == 0 {
+		t.Fatal("classic CGR delivered nothing — the grid point is vacuous")
+	}
+	for _, proto := range []Proto{ProtoCGRK, ProtoCGRMulti, ProtoCGRAdmit} {
+		if delivered[proto] < base {
+			t.Errorf("%s delivered %d < classic CGR's %d on the pristine grid", proto, delivered[proto], base)
+		}
+	}
+	t.Logf("pristine deliveries: %v", delivered)
+}
+
 // TestAllProtosHaveArms pins the registration contract: every arm
 // declared through newProto must resolve to a router factory, so a new
 // Proto cannot exist without both an Arm case and (via AllProtos) a

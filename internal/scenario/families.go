@@ -282,6 +282,39 @@ func init() {
 		},
 	})
 	Register(Family{
+		Name: "cgr-policies",
+		Doc:  "CGR allocation policies head-to-head over the lossy constellation plan — single-copy, k-path widest-within-slack, bounded multi-copy over disjoint alternates, GMA-style admission — with RAPID as the multi-copy utility-driven reference, swept over the loss axis",
+		Gen: func(p Params) []Scenario {
+			if len(p.Protocols) == 0 {
+				p.Protocols = CGRPolicySet()
+			}
+			lossGrid := p.LossGrid
+			if len(lossGrid) == 0 {
+				lossGrid = DefaultLossGrid()
+			}
+			failP := p.ContactFailP
+			if failP == 0 {
+				failP = LossyDefaultContactFailP
+			}
+			var out []Scenario
+			for _, pLoss := range lossGrid {
+				spec := disrupt.Spec{Enabled: true, PLoss: pLoss, PContactFail: failP}
+				out = append(out, grid(p, false, func(_, run int, load float64, proto Proto) Scenario {
+					return Scenario{
+						Family: "cgr-policies", Tag: p.Tag,
+						Schedule: ConstellationSchedule(p),
+						Workload: constellationWorkload(load, p.Ground, p.OrbitPeriod),
+						Protocol: proto, Metric: NormalizeMetric(proto, core.AvgDelay),
+						Config:     constellationOverrides(),
+						Disruption: spec,
+						Run:        run,
+					}
+				})...)
+			}
+			return out
+		},
+	})
+	Register(Family{
 		Name: "mega-constellation",
 		Doc:  "2,000+-node LEO shell run lazily off the periodic contact plan with a streaming ground-segment workload — the scale arm of the dense routing state, plan cursor and counter-based Poisson source",
 		Gen: func(p Params) []Scenario {

@@ -47,6 +47,13 @@ var (
 	// planning over the full expanded schedule (the deterministic
 	// contact-plan setting; internal/routing/cgr).
 	ProtoCGR = newProto("CGR")
+	// The CGR allocation-policy arms (internal/routing/cgr Policy):
+	// Yen k-alternate paths with widest-within-slack selection, bounded
+	// multi-copy spreading over disjoint alternates, and GMA-style
+	// per-destination admission control.
+	ProtoCGRK     = newProto("CGR: K-path")
+	ProtoCGRMulti = newProto("CGR: Multi-copy")
+	ProtoCGRAdmit = newProto("CGR: Admission")
 )
 
 // AllProtos returns every declared protocol arm.
@@ -67,6 +74,13 @@ func ComparisonSet() []Proto {
 // default arms).
 func CGRComparisonSet() []Proto {
 	return append([]Proto{ProtoCGR}, ComparisonSet()...)
+}
+
+// CGRPolicySet is the allocation-policy lineup of the cgr-policies
+// family: the four CGR arms head-to-head, with RAPID as the
+// multi-copy utility-driven reference.
+func CGRPolicySet() []Proto {
+	return []Proto{ProtoCGR, ProtoCGRK, ProtoCGRMulti, ProtoCGRAdmit, ProtoRapid}
 }
 
 // Arm builds the router factory and config adjustments for a protocol.
@@ -102,6 +116,21 @@ func Arm(p Proto, metric Metric, base routing.Config) (routing.RouterFactory, ro
 		// The contact plan is shared a priori; no in-band metadata.
 		cfg.Mode = routing.ControlNone
 		return cgr.New(), cfg
+	case ProtoCGRK:
+		cfg.Mode = routing.ControlNone
+		return cgr.NewPolicy(cgr.Policy{
+			KPaths: cgr.DefaultKPaths, DelaySlack: cgr.DefaultDelaySlack, Copies: 1,
+		}), cfg
+	case ProtoCGRMulti:
+		cfg.Mode = routing.ControlNone
+		return cgr.NewPolicy(cgr.Policy{
+			KPaths: 1, Copies: cgr.DefaultCopies,
+		}), cfg
+	case ProtoCGRAdmit:
+		cfg.Mode = routing.ControlNone
+		return cgr.NewPolicy(cgr.Policy{
+			KPaths: 1, Copies: 1, AdmitFraction: cgr.DefaultAdmitFraction,
+		}), cfg
 	default:
 		panic("scenario: unknown protocol " + string(p))
 	}

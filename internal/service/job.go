@@ -48,27 +48,29 @@ type JobSpec struct {
 
 // Event is one line of a job's telemetry stream, serialized as NDJSON
 // (or an SSE data payload). Fields are omitted when irrelevant to the
-// event type.
+// event type — presence is encoded by the pointer, not the value,
+// because scenario index 0, run 0, node 0, packet 0 and t=0 are all
+// semantically valid and must still reach the wire.
 type Event struct {
 	// Type is one of: job_queued, job_started, scenario_start,
 	// generated, delivered, lost, opportunity, scenario_done, truncated,
 	// job_done.
 	Type string `json:"type"`
 	// Scenario is the index of the scenario within the job.
-	Scenario int `json:"scenario,omitempty"`
+	Scenario *int `json:"scenario,omitempty"`
 	// Protocol/Load/Run identify the grid point for scenario_* events.
-	Protocol string  `json:"protocol,omitempty"`
-	Load     float64 `json:"load,omitempty"`
-	Run      int     `json:"run,omitempty"`
+	Protocol string   `json:"protocol,omitempty"`
+	Load     *float64 `json:"load,omitempty"`
+	Run      *int     `json:"run,omitempty"`
 	// T is simulation time (seconds) for per-packet events.
-	T float64 `json:"t,omitempty"`
+	T *float64 `json:"t,omitempty"`
 	// Packet/Src/Dst describe the packet for generated/delivered/lost.
-	Packet int64 `json:"packet,omitempty"`
-	Src    int   `json:"src,omitempty"`
-	Dst    int   `json:"dst,omitempty"`
+	Packet *int64 `json:"packet,omitempty"`
+	Src    *int   `json:"src,omitempty"`
+	Dst    *int   `json:"dst,omitempty"`
 	// Capacity/Spent are opportunity byte budgets.
-	Capacity int64 `json:"capacity,omitempty"`
-	Spent    int64 `json:"spent,omitempty"`
+	Capacity *int64 `json:"capacity,omitempty"`
+	Spent    *int64 `json:"spent,omitempty"`
 	// Summary carries the reduced metrics for scenario_done.
 	Summary *metrics.Summary `json:"summary,omitempty"`
 	// State/Error report the terminal state for job_done.
@@ -79,6 +81,9 @@ type Event struct {
 	Dropped int `json:"dropped,omitempty"`
 }
 
+// ptr boxes a value for Event's presence-by-pointer fields.
+func ptr[T any](v T) *T { return &v }
+
 // Job is one submission: its expanded scenarios, its state machine and
 // its telemetry log. Subscribers replay the log from the start and
 // follow appends via the condition variable until the job is terminal.
@@ -86,21 +91,26 @@ type Job struct {
 	ID   string
 	Spec JobSpec
 
-	scs    []scenario.Scenario
-	cancel context.CancelFunc
+	scs []scenario.Scenario
 
-	mu        sync.Mutex
-	cond      *sync.Cond
-	state     string
-	err       string
-	completed int
-	sums      []metrics.Summary
-	table     string
-	events    []Event
-	dropped   int
-	submitted time.Time
-	started   time.Time
-	finished  time.Time
+	mu     sync.Mutex
+	cancel context.CancelFunc
+	// cancelRequested records a DELETE that landed before runJob
+	// installed the cancel func — the window between the runner's
+	// setRunning and the context construction. runJob checks it under
+	// the same lock that installs cancel, so the request is never lost.
+	cancelRequested bool
+	cond            *sync.Cond
+	state           string
+	err             string
+	completed       int
+	sums            []metrics.Summary
+	table           string
+	events          []Event
+	dropped         int
+	submitted       time.Time
+	started         time.Time
+	finished        time.Time
 }
 
 func newJob(id string, spec JobSpec, scs []scenario.Scenario) *Job {
@@ -182,10 +192,13 @@ func (j *Job) finish(state, errMsg string, sums []metrics.Summary, table string)
 
 // markCancelled flips a queued job straight to cancelled (the runner
 // skips it); running jobs are cancelled via their context and finish
-// through the runner.
+// through the runner. The cancel request is always recorded first, so
+// a DELETE landing after setRunning but before runJob installs the
+// cancel func still takes effect instead of silently returning 200.
 func (j *Job) markCancelled() {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	j.cancelRequested = true
 	if terminal(j.state) || j.state == stateRunning {
 		return
 	}

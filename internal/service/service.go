@@ -168,7 +168,13 @@ func (s *Server) runJob(j *Job) {
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	j.mu.Lock()
 	j.cancel = cancel
+	requested := j.cancelRequested
 	j.mu.Unlock()
+	if requested {
+		// A DELETE raced the runner between setRunning and the install
+		// above; honor it before any scenario executes.
+		cancel()
+	}
 	defer cancel()
 
 	var (
@@ -223,8 +229,8 @@ func (j *Job) markScenarioDone(i int, sum *metrics.Summary) {
 	defer j.mu.Unlock()
 	j.completed++
 	j.appendLocked(Event{
-		Type: "scenario_done", Scenario: i,
-		Protocol: string(j.scs[i].Protocol), Load: j.scs[i].Workload.Load, Run: j.scs[i].Run,
+		Type: "scenario_done", Scenario: ptr(i),
+		Protocol: string(j.scs[i].Protocol), Load: ptr(j.scs[i].Workload.Load), Run: ptr(j.scs[i].Run),
 		Summary: sum,
 	})
 }
@@ -241,8 +247,8 @@ func (s *Server) runTelemetry(ctx context.Context, j *Job) ([]metrics.Summary, e
 			return nil, ctx.Err()
 		}
 		j.append(Event{
-			Type: "scenario_start", Scenario: i,
-			Protocol: string(sc.Protocol), Load: sc.Workload.Load, Run: sc.Run,
+			Type: "scenario_start", Scenario: ptr(i),
+			Protocol: string(sc.Protocol), Load: ptr(sc.Workload.Load), Run: ptr(sc.Run),
 		})
 		col, horizon := runHooked(sc, j, i)
 		sums[i] = col.Summarize(horizon)
@@ -264,20 +270,20 @@ func runHooked(sc scenario.Scenario, j *Job, idx int) (*metrics.Collector, float
 	}
 	rs.Hooks = &routing.Hooks{
 		OnGenerated: func(p *packet.Packet, now float64) {
-			j.append(Event{Type: "generated", Scenario: idx, T: now,
-				Packet: int64(p.ID), Src: int(p.Src), Dst: int(p.Dst)})
+			j.append(Event{Type: "generated", Scenario: ptr(idx), T: ptr(now),
+				Packet: ptr(int64(p.ID)), Src: ptr(int(p.Src)), Dst: ptr(int(p.Dst))})
 		},
 		OnDelivered: func(id packet.ID, dst packet.NodeID, now float64) {
-			j.append(Event{Type: "delivered", Scenario: idx, T: now,
-				Packet: int64(id), Dst: int(dst)})
+			j.append(Event{Type: "delivered", Scenario: ptr(idx), T: ptr(now),
+				Packet: ptr(int64(id)), Dst: ptr(int(dst))})
 		},
 		OnLost: func(id packet.ID, from, to packet.NodeID, now float64) {
-			j.append(Event{Type: "lost", Scenario: idx, T: now,
-				Packet: int64(id), Src: int(from), Dst: int(to)})
+			j.append(Event{Type: "lost", Scenario: ptr(idx), T: ptr(now),
+				Packet: ptr(int64(id)), Src: ptr(int(from)), Dst: ptr(int(to))})
 		},
 		OnOpportunityDone: func(a, b packet.NodeID, capacity, spent int64, windowed bool, now float64) {
-			j.append(Event{Type: "opportunity", Scenario: idx, T: now,
-				Src: int(a), Dst: int(b), Capacity: capacity, Spent: spent})
+			j.append(Event{Type: "opportunity", Scenario: ptr(idx), T: ptr(now),
+				Src: ptr(int(a)), Dst: ptr(int(b)), Capacity: ptr(capacity), Spent: ptr(spent)})
 		},
 	}
 	return routing.Run(rs), horizon

@@ -216,10 +216,13 @@ func TestTelemetryStreamMatchesSummaries(t *testing.T) {
 	for _, ev := range events {
 		switch ev.Type {
 		case "generated":
-			generated[ev.Scenario]++
+			if ev.Scenario == nil {
+				t.Fatalf("generated event without scenario index: %+v", ev)
+			}
+			generated[*ev.Scenario]++
 		case "scenario_done":
 			if ev.Summary == nil {
-				t.Errorf("scenario_done %d without summary", ev.Scenario)
+				t.Errorf("scenario_done %v without summary", ev.Scenario)
 			}
 			scenarioDone++
 		}
@@ -345,6 +348,86 @@ func TestCancelRunningJob(t *testing.T) {
 	}
 	if st.Completed >= st.Scenarios {
 		t.Errorf("cancelled job completed all %d scenarios", st.Scenarios)
+	}
+}
+
+// TestEventZeroValuesSerialize pins the telemetry wire format: a
+// generated event for packet 0, created at t=0 by node 0, inside
+// scenario 0 must carry every one of those zero-valued fields on the
+// NDJSON line. With value fields under omitempty (the old encoding)
+// they all vanished.
+func TestEventZeroValuesSerialize(t *testing.T) {
+	ev := Event{Type: "generated", Scenario: ptr(0), T: ptr(0.0),
+		Packet: ptr(int64(0)), Src: ptr(0), Dst: ptr(3)}
+	line, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(line, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"scenario", "t", "packet", "src", "dst"} {
+		if _, present := decoded[key]; !present {
+			t.Errorf("key %q missing from %s", key, line)
+		}
+	}
+	for key, want := range map[string]float64{"scenario": 0, "t": 0, "packet": 0, "src": 0, "dst": 3} {
+		if got, ok := decoded[key].(float64); !ok || got != want {
+			t.Errorf("%s = %v, want %v", key, decoded[key], want)
+		}
+	}
+	// Fields irrelevant to the event type stay off the wire.
+	for _, key := range []string{"load", "run", "capacity", "spent"} {
+		if _, present := decoded[key]; present {
+			t.Errorf("irrelevant key %q serialized in %s", key, line)
+		}
+	}
+}
+
+// TestCancelInSetRunningWindow reproduces the lost-cancel race: the
+// DELETE lands after the runner's setRunning but before runJob installs
+// the cancel func. The request must be recorded (not dropped), and
+// runJob must finish the job as cancelled without executing it.
+func TestCancelInSetRunningWindow(t *testing.T) {
+	s := New(Config{})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	}()
+	var spec JobSpec
+	if err := json.Unmarshal([]byte(smokeSpec), &spec); err != nil {
+		t.Fatal(err)
+	}
+	scs, err := expandSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive the runner's steps by hand around a concurrent DELETE: the
+	// job never enters the queue, so only this test touches it.
+	j := newJob("job-race", spec, scs)
+	if !j.setRunning() {
+		t.Fatal("setRunning failed on a queued job")
+	}
+	deleted := make(chan struct{})
+	go func() {
+		defer close(deleted)
+		// handleCancel's core, in the vulnerable window.
+		j.markCancelled()
+		j.mu.Lock()
+		cancel := j.cancel
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+	}()
+	<-deleted
+	s.runJob(j)
+	if st := j.status(); st.State != stateCancelled {
+		t.Fatalf("state %s after cancel-before-install, want cancelled (completed %d)", st.State, st.Completed)
 	}
 }
 
